@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Ablation — swap-counter design for the PoM substrate: the paper-
+ * faithful per-access competing counter (streaming passes reach the
+ * threshold on their own) vs this repo's strengthened burst counter
+ * with resident defense. Quantifies how much of Chameleon's advantage
+ * comes from PoM's swap storms.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace chameleon;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opts = sweepDefaults(argc, argv);
+    benchBanner("Ablation", "PoM counter: per-access vs burst", opts);
+
+    const char *app_names[] = {"lbm", "stream", "mcf", "hpccg"};
+    const auto suite = tableTwoSuite(opts.scale);
+
+    TextTable table({"workload", "counter", "hit%", "swaps", "IPC"});
+    for (const char *name : app_names) {
+        const AppProfile &app = findProfile(suite, name);
+        for (bool burst : {false, true}) {
+            SystemConfig cfg = makeSystemConfig(Design::Pom, opts);
+            cfg.pom.burstCounter = burst;
+            cfg.pom.swapThreshold = burst ? 2 : 8;
+            const RunResult r = runRateWorkload(cfg, app, opts);
+            table.addRow({name, burst ? "burst+defense" : "per-access",
+                          TextTable::fmt(100.0 * r.stackedHitRate, 1),
+                          std::to_string(r.swaps),
+                          TextTable::fmt(r.ipcGeoMean, 3)});
+        }
+    }
+    table.print();
+    std::printf("\nthe per-access counter ([25]) swaps far more; the "
+                "burst counter is a stronger baseline that narrows "
+                "Chameleon's margin (see DESIGN.md deviations)\n");
+    return 0;
+}

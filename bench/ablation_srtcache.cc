@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation — SRT storage realism: an ideal on-chip SRAM table vs
+ * [25]'s design where SRT entries live in stacked DRAM behind a small
+ * SRAM cache. Sweeps the SRT-cache size and reports the latency cost
+ * of metadata misses.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "memorg/pom.hh"
+
+using namespace chameleon;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opts = sweepDefaults(argc, argv);
+    benchBanner("Ablation", "SRT cache size (metadata realism)", opts);
+
+    const auto suite = tableTwoSuite(opts.scale);
+    const AppProfile &app = findProfile(suite, "GemsFDTD");
+
+    TextTable table({"srt-cache", "srt-hit%", "AMAL", "IPC"});
+    for (std::uint32_t entries : {0u, 1024u, 8192u, 65536u}) {
+        SystemConfig cfg = makeSystemConfig(Design::ChameleonOpt, opts);
+        cfg.pom.srtCacheEntries = entries;
+        System sys(cfg);
+        sys.loadRateWorkload(app);
+        const std::uint64_t instr = effectiveInstructions(app, opts);
+        const RunResult r = sys.run(instr, instr);
+        auto *pom = dynamic_cast<PomMemory *>(&sys.organization());
+        const std::uint64_t h = pom->srtCacheHits();
+        const std::uint64_t m = pom->srtCacheMisses();
+        table.addRow(
+            {entries == 0 ? "ideal SRAM" : std::to_string(entries),
+             h + m ? TextTable::fmt(100.0 * static_cast<double>(h) /
+                                        static_cast<double>(h + m), 1)
+                   : std::string("-"),
+             TextTable::fmt(r.amal, 0),
+             TextTable::fmt(r.ipcGeoMean, 3)});
+    }
+    table.print();
+    std::printf("\n[25] reports the SRT cache captures most lookups; "
+                "the ideal-SRAM default is within a few percent of a "
+                "realistically sized cache\n");
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Shared scaffolding for the figure-reproduction benches: suite
+ * sweeps over (design x application) with paper-style table output.
+ * Every bench accepts the common flags of sim/experiment.hh.
+ */
+
+#ifndef CHAMELEON_BENCH_BENCH_COMMON_HH
+#define CHAMELEON_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/experiment.hh"
+
+namespace chameleon
+{
+
+/** One (design, app) measurement. */
+struct SweepCell
+{
+    RunResult result;
+};
+
+/** Results of a full suite sweep, indexed [design][app]. */
+struct SuiteSweep
+{
+    std::vector<Design> designs;
+    std::vector<AppProfile> apps;
+    std::vector<std::vector<RunResult>> cells;
+
+    const RunResult &
+    at(std::size_t design_idx, std::size_t app_idx) const
+    {
+        return cells[design_idx][app_idx];
+    }
+};
+
+/**
+ * Run every app in @p apps on every design in @p designs. @p tweak
+ * (optional) may adjust each SystemConfig before the run.
+ */
+inline SuiteSweep
+runSuiteSweep(const std::vector<Design> &designs,
+              const std::vector<AppProfile> &apps,
+              const BenchOptions &opts,
+              const std::function<void(SystemConfig &)> &tweak = {})
+{
+    SuiteSweep sweep;
+    sweep.designs = designs;
+    sweep.apps = apps;
+    for (Design d : designs) {
+        std::vector<RunResult> row;
+        for (const AppProfile &app : apps) {
+            SystemConfig cfg = makeSystemConfig(d, opts);
+            if (tweak)
+                tweak(cfg);
+            row.push_back(runRateWorkload(cfg, app, opts));
+            std::fflush(stdout);
+        }
+        sweep.cells.push_back(std::move(row));
+    }
+    return sweep;
+}
+
+/** GeoMean of one metric across the sweep's apps for one design. */
+inline double
+sweepGeoMean(const SuiteSweep &sweep, std::size_t design_idx,
+             const std::function<double(const RunResult &)> &metric)
+{
+    std::vector<double> vals;
+    for (std::size_t a = 0; a < sweep.apps.size(); ++a)
+        vals.push_back(metric(sweep.at(design_idx, a)));
+    return geoMean(vals);
+}
+
+/** Arithmetic mean variant. */
+inline double
+sweepMean(const SuiteSweep &sweep, std::size_t design_idx,
+          const std::function<double(const RunResult &)> &metric)
+{
+    std::vector<double> vals;
+    for (std::size_t a = 0; a < sweep.apps.size(); ++a)
+        vals.push_back(metric(sweep.at(design_idx, a)));
+    return arithMean(vals);
+}
+
+/** Standard bench banner. */
+inline void
+benchBanner(const char *figure, const char *what,
+            const BenchOptions &opts)
+{
+    std::printf("=== %s: %s ===\n", figure, what);
+    std::printf("(scale 1/%llu: %lluMiB stacked + %lluMiB off-chip; "
+                "per-core instr >= %llu, refs >= %llu; seed %llu)\n\n",
+                static_cast<unsigned long long>(opts.scale),
+                static_cast<unsigned long long>(
+                    opts.stackedFullGiB * 1024 / opts.scale),
+                static_cast<unsigned long long>(
+                    opts.offchipFullGiB * 1024 / opts.scale),
+                static_cast<unsigned long long>(opts.instrPerCore),
+                static_cast<unsigned long long>(opts.minRefsPerCore),
+                static_cast<unsigned long long>(opts.seed));
+}
+
+/** Sweep-bench default: lighter per-run work to keep the full
+ *  (design x 14 apps) matrix fast. */
+inline BenchOptions
+sweepDefaults(int argc, char **argv)
+{
+    // Parse twice so user flags override the lighter defaults.
+    BenchOptions opts = parseBenchArgs(argc, argv);
+    BenchOptions defaults;
+    if (opts.instrPerCore == defaults.instrPerCore)
+        opts.instrPerCore = 400'000;
+    if (opts.minRefsPerCore == defaults.minRefsPerCore)
+        opts.minRefsPerCore = 25'000;
+    return opts;
+}
+
+} // namespace chameleon
+
+#endif // CHAMELEON_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fig 19 — average memory access latency (CPU cycles over LLC-miss
+ * reads) for PoM, Chameleon and Chameleon-Opt. The paper's shape:
+ * Chameleon and Chameleon-Opt reduce AMAL vs PoM thanks to higher
+ * stacked hit rates and fewer demand-interfering swaps.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace chameleon;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opts = sweepDefaults(argc, argv);
+    benchBanner("Fig 19", "average memory access latency", opts);
+
+    const std::vector<Design> designs = {
+        Design::Pom, Design::Chameleon, Design::ChameleonOpt};
+    const auto apps = tableTwoSuite(opts.scale);
+    const SuiteSweep sweep = runSuiteSweep(designs, apps, opts);
+
+    TextTable table({"workload", "PoM", "Chameleon", "Cham-Opt"});
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        std::vector<std::string> row = {apps[a].name};
+        for (std::size_t d = 0; d < designs.size(); ++d)
+            row.push_back(TextTable::fmt(sweep.at(d, a).amal, 0));
+        table.addRow(row);
+    }
+    std::vector<std::string> gm = {"GeoMean"};
+    for (std::size_t d = 0; d < designs.size(); ++d)
+        gm.push_back(TextTable::fmt(
+            sweepGeoMean(sweep, d,
+                         [](const RunResult &r) { return r.amal; }),
+            0));
+    table.addRow(gm);
+    table.print();
+    std::printf("\npaper: Fig 19 — PoM ~700 cycles; Chameleon and "
+                "Chameleon-Opt lower\n");
+    return 0;
+}

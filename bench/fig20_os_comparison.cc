@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fig 20 — Chameleon vs the OS-based placements: the NUMA-aware
+ * first-touch allocator and AutoNUMA at 70/80/90% thresholds, all on
+ * the 4GB+20GB machine, normalized to the 20GB flat baseline. Paper:
+ * Chameleon +28.7% over first-touch and +19.1% over AutoNUMA;
+ * Chameleon-Opt +34.8% / +24.9%.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace chameleon;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opts = sweepDefaults(argc, argv);
+    benchBanner("Fig 20", "OS-based placement comparison", opts);
+
+    const auto apps = tableTwoSuite(opts.scale);
+
+    struct Col
+    {
+        const char *label;
+        Design design;
+        bool autonuma;
+        double threshold;
+    };
+    const Col cols[] = {
+        {"base20GB", Design::FlatDdr, false, 0},
+        {"numaAware", Design::NumaFlat, false, 0},
+        {"auto70", Design::NumaFlat, true, 0.7},
+        {"auto80", Design::NumaFlat, true, 0.8},
+        {"auto90", Design::NumaFlat, true, 0.9},
+        {"Chameleon", Design::Chameleon, false, 0},
+        {"Cham-Opt", Design::ChameleonOpt, false, 0},
+    };
+
+    std::vector<std::vector<double>> ipc(std::size(cols));
+    for (std::size_t c = 0; c < std::size(cols); ++c) {
+        for (const AppProfile &app : apps) {
+            SystemConfig cfg = makeSystemConfig(cols[c].design, opts);
+            if (cols[c].autonuma) {
+                cfg.runAutoNuma = true;
+                cfg.autonuma.threshold = cols[c].threshold;
+                cfg.autonuma.epochCycles =
+                    10'000'000 / opts.scale * 8;
+            }
+            ipc[c].push_back(
+                runRateWorkload(cfg, app, opts).ipcGeoMean);
+        }
+    }
+
+    TextTable table({"config", "normalized IPC (geomean)"});
+    std::vector<double> gms;
+    for (std::size_t c = 0; c < std::size(cols); ++c) {
+        std::vector<double> norm;
+        for (std::size_t a = 0; a < apps.size(); ++a)
+            norm.push_back(ipc[c][a] / ipc[0][a]);
+        gms.push_back(geoMean(norm));
+        table.addRow({cols[c].label, TextTable::fmt(gms.back(), 3)});
+    }
+    table.print();
+    std::printf("\nderived: Chameleon vs numaAware %+.1f%%, vs "
+                "auto90 %+.1f%%; Cham-Opt vs numaAware %+.1f%%, vs "
+                "auto90 %+.1f%%\n",
+                (gms[5] / gms[1] - 1.0) * 100.0,
+                (gms[5] / gms[4] - 1.0) * 100.0,
+                (gms[6] / gms[1] - 1.0) * 100.0,
+                (gms[6] / gms[4] - 1.0) * 100.0);
+    std::printf("paper: Fig 20 — Chameleon +28.7%%/+19.1%%, "
+                "Chameleon-Opt +34.8%%/+24.9%% over first-touch/"
+                "AutoNUMA\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * §VI-F — ISA-Alloc/ISA-Free overhead analysis. Drives an
+ * allocation/free-heavy schedule through Chameleon and Chameleon-Opt,
+ * counts the ISA-triggered segment moves, and reproduces the paper's
+ * end-to-end overhead estimate (paper: 1.06% assuming one swap per
+ * ISA instruction over the Fig 3 schedule).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "os/mini_os.hh"
+
+using namespace chameleon;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    benchBanner("ISA overhead (Sec VI-F)",
+                "alloc/free storm move accounting", opts);
+
+    TextTable table({"design", "isa-allocs", "isa-frees", "isa-moves",
+                     "moves/op%", "est overhead%"});
+    for (Design d : {Design::Chameleon, Design::ChameleonOpt}) {
+        SystemConfig cfg = makeSystemConfig(d, opts);
+        System sys(cfg);
+        // Alloc/free churn: workloads come and go as in Fig 3.
+        auto &os = sys.os();
+        Rng rng(opts.seed);
+        std::vector<ProcId> procs;
+        const std::uint64_t fp =
+            sys.organization().osVisibleBytes() / 6;
+        Cycle t = 0;
+        const std::uint64_t os_bytes =
+            sys.organization().osVisibleBytes();
+        for (int round = 0; round < 8; ++round) {
+            for (int i = 0; i < 4; ++i) {
+                const ProcId p = os.createProcess("w", fp);
+                os.preAllocate(p, t += 1000);
+                procs.push_back(p);
+            }
+            // Access activity between allocation waves so PoM-mode
+            // groups remap hot segments (the Fig 11 swap-back source).
+            for (int a = 0; a < 20000; ++a) {
+                const Addr addr = rng.below(os_bytes / 64) * 64;
+                sys.organization().access(
+                    addr, rng.chance(0.3) ? AccessType::Write
+                                          : AccessType::Read,
+                    t += 4);
+            }
+            while (procs.size() > 2) {
+                os.destroyProcess(procs.back(), t += 1000);
+                procs.pop_back();
+            }
+        }
+        const auto &st = sys.organization().stats();
+        const auto &osst = sys.os().stats();
+        const double ops = static_cast<double>(osst.isaAllocs +
+                                               osst.isaFrees);
+        const double moves_per_op =
+            ops ? static_cast<double>(st.isaMoves) / ops : 0.0;
+        // Paper's conservative estimate: one 2KB swap per ISA op at
+        // 700 cycles per 64B over a 2.25GHz machine = 1.06% of the
+        // 53.8h schedule. Scale by our measured moves/op.
+        const double paper_bound = 1.06;
+        table.addRow({designLabel(d),
+                      std::to_string(osst.isaAllocs),
+                      std::to_string(osst.isaFrees),
+                      std::to_string(st.isaMoves),
+                      TextTable::fmt(100.0 * moves_per_op, 2),
+                      TextTable::fmt(paper_bound * moves_per_op, 3)});
+    }
+    table.print();
+    std::printf("\npaper: Sec VI-F assumes one swap per ISA op and "
+                "bounds the overhead at 1.06%%; the measured "
+                "moves/op ratio shows how conservative that is\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the hot structures: SRRT
+ * lookups through the Chameleon access path, ISA transition handling,
+ * raw DRAM-device access computation, and the synthetic stream
+ * generator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "core/chameleon_opt.hh"
+#include "dram/dram_device.hh"
+#include "workloads/profile.hh"
+#include "workloads/stream_gen.hh"
+
+using namespace chameleon;
+
+namespace
+{
+
+struct Rig
+{
+    std::unique_ptr<DramDevice> stacked;
+    std::unique_ptr<DramDevice> offchip;
+    std::unique_ptr<ChameleonOptMemory> org;
+
+    Rig()
+    {
+        DramTimings st = stackedDramConfig();
+        st.capacity = 16_MiB;
+        DramTimings ot = offchipDramConfig();
+        ot.capacity = 80_MiB;
+        stacked = std::make_unique<DramDevice>(st);
+        offchip = std::make_unique<DramDevice>(ot);
+        org = std::make_unique<ChameleonOptMemory>(stacked.get(),
+                                                   offchip.get());
+    }
+};
+
+} // namespace
+
+static void
+BM_DramAccess(benchmark::State &state)
+{
+    DramTimings t = offchipDramConfig();
+    t.capacity = 64_MiB;
+    DramDevice dev(t);
+    Rng rng(1);
+    Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            dev.access(rng.below(64_MiB / 64) * 64, AccessType::Read,
+                       now += 4));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramAccess);
+
+static void
+BM_ChameleonAccess(benchmark::State &state)
+{
+    Rig rig;
+    Rng rng(2);
+    Cycle now = 0;
+    const std::uint64_t blocks = rig.org->osVisibleBytes() / 64;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            rig.org->access(rng.below(blocks) * 64, AccessType::Read,
+                            now += 4));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChameleonAccess);
+
+static void
+BM_IsaAllocFreeCycle(benchmark::State &state)
+{
+    Rig rig;
+    const std::uint64_t segs = rig.org->osVisibleBytes() / 2048;
+    std::uint64_t s = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        rig.org->isaAlloc(s * 2048, now += 2);
+        rig.org->isaFree(s * 2048, now += 2);
+        s = (s + 7919) % segs;
+    }
+    state.SetItemsProcessed(2 * state.iterations());
+}
+BENCHMARK(BM_IsaAllocFreeCycle);
+
+static void
+BM_StreamGen(benchmark::State &state)
+{
+    const auto suite = tableTwoSuite(64);
+    SyntheticStream s(findProfile(suite, "lbm"), 16_MiB, 3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(s.next().vaddr);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamGen);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Live mode-transition demo: a workload allocates, runs, frees and
+ * re-allocates memory while Chameleon-Opt's segment groups flip
+ * between PoM and cache modes. Shows the ISA-Alloc/ISA-Free co-design
+ * doing its job dynamically (the behaviour §VI-B could not observe
+ * because the paper's snippets allocate only at startup).
+ *
+ * Usage: adaptive_phases [--scale N]
+ */
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "core/chameleon.hh"
+#include "sim/experiment.hh"
+
+using namespace chameleon;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opts = parseBenchArgs(argc, argv);
+    SystemConfig cfg = makeSystemConfig(Design::ChameleonOpt, opts);
+    System sys(cfg);
+    auto &os = sys.os();
+    auto *cham =
+        dynamic_cast<ChameleonMemory *>(&sys.organization());
+
+    const std::uint64_t total = sys.organization().osVisibleBytes();
+    TextTable table({"event", "alloc'd MiB", "cache-mode%",
+                     "transitions(a/f)"});
+    auto snap = [&](const char *event) {
+        const auto &cs = cham->chamStats();
+        table.addRow(
+            {event,
+             std::to_string((total - os.freeBytes()) >> 20),
+             TextTable::fmt(100.0 * cham->cacheModeFraction(), 1),
+             std::to_string(cs.allocTransitions) + "/" +
+                 std::to_string(cs.freeTransitions)});
+    };
+
+    snap("boot");
+    // Phase 1: a large job fills most of memory -> PoM mode.
+    const ProcId big = os.createProcess("big", total * 3 / 4);
+    os.preAllocate(big);
+    snap("big job in (75% of memory)");
+
+    // Phase 2: a second job pushes the system near capacity.
+    const ProcId second = os.createProcess("second", total / 6);
+    os.preAllocate(second);
+    snap("second job in (~92%)");
+
+    // Phase 3: the big job exits -> groups flood back to cache mode.
+    os.destroyProcess(big);
+    snap("big job done");
+
+    // Phase 4: small interactive job; most groups stay cache mode.
+    const ProcId small = os.createProcess("small", total / 8);
+    os.preAllocate(small);
+    snap("small job in");
+
+    os.destroyProcess(second);
+    os.destroyProcess(small);
+    snap("all done");
+
+    table.print();
+    std::printf("\nGroups flip PoM->cache as memory frees and back as "
+                "it fills, with no reboot (contrast: KNL's static "
+                "hybrid modes, Sec II-C3).\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Quickstart: build a Table I machine, run one rate-mode workload on
+ * each memory organization, and print the headline metrics the paper
+ * compares (stacked hit rate, swaps, AMAL, IPC).
+ *
+ * Usage: quickstart [--scale N] [--instr N] [--seed N]
+ * The APP environment variable selects the workload (default lbm),
+ * e.g. `APP=mcf ./quickstart`.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/stats.hh"
+#include "sim/experiment.hh"
+
+using namespace chameleon;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opts = parseBenchArgs(argc, argv);
+
+    // A memory-intensive SPEC-like workload: 12 copies of lbm.
+    const auto suite = tableTwoSuite(opts.scale);
+    const AppProfile &app = findProfile(suite, getenv("APP") ? getenv("APP") : "lbm");
+
+    std::printf("Chameleon quickstart: %u-core rate-mode '%s', "
+                "%lluMiB stacked + %lluMiB off-chip (scale 1/%llu)\n\n",
+                12, app.name.c_str(),
+                static_cast<unsigned long long>(
+                    opts.stackedFullGiB * 1024 / opts.scale),
+                static_cast<unsigned long long>(
+                    opts.offchipFullGiB * 1024 / opts.scale),
+                static_cast<unsigned long long>(opts.scale));
+
+    const Design designs[] = {Design::FlatDdr, Design::Alloy,
+                              Design::Pom, Design::Chameleon,
+                              Design::ChameleonOpt};
+
+    TextTable table({"design", "IPC(geo)", "hit-rate%", "swaps",
+                     "fills", "AMAL(cyc)", "cache-mode%"});
+    double base_ipc = 0.0;
+    for (Design d : designs) {
+        const RunResult r = runRateWorkload(d, app, opts);
+        if (d == Design::FlatDdr)
+            base_ipc = r.ipcGeoMean;
+        table.addRow(
+            {designLabel(d),
+             TextTable::fmt(r.ipcGeoMean / base_ipc, 3),
+             TextTable::fmt(100.0 * r.stackedHitRate, 1),
+             std::to_string(r.swaps), std::to_string(r.fills),
+             TextTable::fmt(r.amal, 0),
+             r.cacheModeFraction < 0
+                 ? std::string("-")
+                 : TextTable::fmt(100.0 * r.cacheModeFraction, 1)});
+    }
+    table.print();
+    std::printf("\nIPC is normalized to the no-stacked-DRAM 20GB "
+                "baseline (flat-ddr row = 1.000).\n");
+    return 0;
+}

@@ -1,0 +1,169 @@
+#include "cache/cache.hh"
+
+#include "common/log.hh"
+
+namespace chameleon
+{
+
+namespace
+{
+
+/** SRRIP uses 2-bit RRPVs; insert "long", promote to "near" on hit. */
+constexpr std::uint64_t srripMax = 3;
+constexpr std::uint64_t srripInsert = 2;
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config, std::uint64_t seed)
+    : cfg(config), rng(seed)
+{
+    if (!isPowerOf2(cfg.blockBytes))
+        fatal("Cache(%s): block size must be a power of two", cfg.name);
+    const std::uint64_t blocks = cfg.sizeBytes / cfg.blockBytes;
+    if (blocks == 0 || blocks % cfg.associativity != 0)
+        fatal("Cache(%s): size/assoc/block geometry inconsistent",
+              cfg.name);
+    sets = static_cast<std::uint32_t>(blocks / cfg.associativity);
+    lines.resize(blocks);
+}
+
+std::uint32_t
+Cache::setIndex(Addr addr) const
+{
+    // Set count need not be a power of two (Table I's 12MiB L3 has
+    // 12288 sets), so index by modulo.
+    return static_cast<std::uint32_t>((addr / cfg.blockBytes) % sets);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return (addr / cfg.blockBytes) / sets;
+}
+
+Addr
+Cache::rebuild(Addr tag, std::uint32_t set) const
+{
+    return (tag * sets + set) * cfg.blockBytes;
+}
+
+std::uint32_t
+Cache::pickVictim(std::uint32_t set)
+{
+    const std::uint32_t base = set * cfg.associativity;
+
+    // Prefer an invalid way.
+    for (std::uint32_t w = 0; w < cfg.associativity; ++w)
+        if (!lines[base + w].valid)
+            return w;
+
+    switch (cfg.policy) {
+      case ReplPolicy::Random:
+        return static_cast<std::uint32_t>(rng.below(cfg.associativity));
+      case ReplPolicy::Lru: {
+        std::uint32_t victim = 0;
+        std::uint64_t oldest = lines[base].meta;
+        for (std::uint32_t w = 1; w < cfg.associativity; ++w) {
+            if (lines[base + w].meta < oldest) {
+                oldest = lines[base + w].meta;
+                victim = w;
+            }
+        }
+        return victim;
+      }
+      case ReplPolicy::Srrip:
+        for (;;) {
+            for (std::uint32_t w = 0; w < cfg.associativity; ++w)
+                if (lines[base + w].meta >= srripMax)
+                    return w;
+            for (std::uint32_t w = 0; w < cfg.associativity; ++w)
+                ++lines[base + w].meta;
+        }
+    }
+    panic("Cache(%s): unknown replacement policy", cfg.name);
+}
+
+CacheAccessResult
+Cache::access(Addr addr, AccessType type)
+{
+    ++tick;
+    const std::uint32_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const std::uint32_t base = set * cfg.associativity;
+
+    for (std::uint32_t w = 0; w < cfg.associativity; ++w) {
+        Line &line = lines[base + w];
+        if (line.valid && line.tag == tag) {
+            ++statsData.hits;
+            line.meta = (cfg.policy == ReplPolicy::Srrip) ? 0 : tick;
+            if (type == AccessType::Write)
+                line.dirty = true;
+            return {true, false, invalidAddr};
+        }
+    }
+
+    ++statsData.misses;
+    CacheAccessResult result;
+    const std::uint32_t victim_way = pickVictim(set);
+    Line &victim = lines[base + victim_way];
+    if (victim.valid) {
+        ++statsData.evictions;
+        if (victim.dirty) {
+            ++statsData.writebacks;
+            result.writeback = true;
+            result.writebackAddr = rebuild(victim.tag, set);
+        }
+    }
+    victim.valid = true;
+    victim.tag = tag;
+    victim.dirty = (type == AccessType::Write);
+    victim.meta = (cfg.policy == ReplPolicy::Srrip) ? srripInsert : tick;
+    return result;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const std::uint32_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const std::uint32_t base = set * cfg.associativity;
+    for (std::uint32_t w = 0; w < cfg.associativity; ++w) {
+        const Line &line = lines[base + w];
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    const std::uint32_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const std::uint32_t base = set * cfg.associativity;
+    for (std::uint32_t w = 0; w < cfg.associativity; ++w) {
+        Line &line = lines[base + w];
+        if (line.valid && line.tag == tag) {
+            const bool was_dirty = line.dirty;
+            line.valid = false;
+            line.dirty = false;
+            return was_dirty;
+        }
+    }
+    return false;
+}
+
+std::uint64_t
+Cache::flush()
+{
+    std::uint64_t dirty = 0;
+    for (auto &line : lines) {
+        if (line.valid && line.dirty)
+            ++dirty;
+        line.valid = false;
+        line.dirty = false;
+    }
+    return dirty;
+}
+
+} // namespace chameleon

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Generic set-associative, write-back / write-allocate SRAM cache model
+ * with pluggable replacement (LRU, random, SRRIP). Used for the private
+ * L1/L2 and the shared L3 of Table I.
+ */
+
+#ifndef CHAMELEON_CACHE_CACHE_HH
+#define CHAMELEON_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace chameleon
+{
+
+/** Replacement policy selector. */
+enum class ReplPolicy : std::uint8_t { Lru = 0, Random = 1, Srrip = 2 };
+
+/** Static cache geometry and behaviour. */
+struct CacheConfig
+{
+    const char *name = "cache";
+    std::uint64_t sizeBytes = 32_KiB;
+    std::uint32_t associativity = 4;
+    std::uint32_t blockBytes = 64;
+    /** Lookup latency charged on a hit, CPU cycles. */
+    Cycle latency = 4;
+    ReplPolicy policy = ReplPolicy::Lru;
+};
+
+/** Hit/miss/writeback counters for one cache. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+
+    double
+    missRate() const
+    {
+        const std::uint64_t total = hits + misses;
+        return total ? static_cast<double>(misses) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/** Result of one cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** Valid when a dirty victim was evicted by the fill. */
+    bool writeback = false;
+    /** Block address of the dirty victim. */
+    Addr writebackAddr = invalidAddr;
+};
+
+/**
+ * One cache level. Misses allocate immediately (the caller is
+ * responsible for charging the fill latency from the level below).
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config, std::uint64_t seed = 1);
+
+    /**
+     * Look up @p addr; on miss, allocate it, possibly evicting a dirty
+     * victim that must be written back by the caller.
+     */
+    CacheAccessResult access(Addr addr, AccessType type);
+
+    /** Look up without allocating or touching replacement state. */
+    bool probe(Addr addr) const;
+
+    /** Drop @p addr if present; returns true if it was dirty. */
+    bool invalidate(Addr addr);
+
+    /** Invalidate everything, returning the number of dirty lines. */
+    std::uint64_t flush();
+
+    const CacheConfig &config() const { return cfg; }
+    const CacheStats &stats() const { return statsData; }
+    void resetStats() { statsData = CacheStats(); }
+
+    std::uint32_t numSets() const { return sets; }
+
+  private:
+    struct Line
+    {
+        Addr tag = invalidAddr;
+        bool valid = false;
+        bool dirty = false;
+        /** LRU stamp or SRRIP re-reference prediction value. */
+        std::uint64_t meta = 0;
+    };
+
+    std::uint32_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Addr rebuild(Addr tag, std::uint32_t set) const;
+    std::uint32_t pickVictim(std::uint32_t set);
+
+    CacheConfig cfg;
+    std::uint32_t sets;
+    std::vector<Line> lines;
+    std::uint64_t tick = 0;
+    Rng rng;
+    CacheStats statsData;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_CACHE_CACHE_HH

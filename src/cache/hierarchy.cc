@@ -1,0 +1,77 @@
+#include "cache/hierarchy.hh"
+
+#include "common/log.hh"
+
+namespace chameleon
+{
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
+    : cfg(config)
+{
+    if (cfg.numCores == 0)
+        fatal("CacheHierarchy: need at least one core");
+    for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+        l1s.push_back(std::make_unique<Cache>(cfg.l1, 100 + c));
+        l2s.push_back(std::make_unique<Cache>(cfg.l2, 200 + c));
+    }
+    l3 = std::make_unique<Cache>(cfg.l3, 300);
+}
+
+HierarchyResult
+CacheHierarchy::access(CoreId core, Addr addr, AccessType type)
+{
+    if (core >= cfg.numCores)
+        panic("CacheHierarchy: core %u out of range", core);
+
+    HierarchyResult result;
+    const Addr block = addr & ~static_cast<Addr>(cfg.l1.blockBytes - 1);
+
+    // L1.
+    result.lookupLatency += cfg.l1.latency;
+    auto r1 = l1s[core]->access(block, type);
+    if (r1.writeback) {
+        // L1 victim spills into L2 (write-back hierarchy).
+        auto spill = l2s[core]->access(r1.writebackAddr,
+                                       AccessType::Write);
+        if (spill.writeback) {
+            auto deep = l3->access(spill.writebackAddr,
+                                   AccessType::Write);
+            if (deep.writeback)
+                result.memWritebacks.push_back(deep.writebackAddr);
+        }
+    }
+    if (r1.hit)
+        return result;
+
+    // L2.
+    result.lookupLatency += cfg.l2.latency;
+    auto r2 = l2s[core]->access(block, type);
+    if (r2.writeback) {
+        auto deep = l3->access(r2.writebackAddr, AccessType::Write);
+        if (deep.writeback)
+            result.memWritebacks.push_back(deep.writebackAddr);
+    }
+    if (r2.hit)
+        return result;
+
+    // L3 (shared).
+    result.lookupLatency += cfg.l3.latency;
+    auto r3 = l3->access(block, type);
+    if (r3.writeback)
+        result.memWritebacks.push_back(r3.writebackAddr);
+    if (!r3.hit)
+        result.llcMiss = true;
+    return result;
+}
+
+void
+CacheHierarchy::resetStats()
+{
+    for (auto &c : l1s)
+        c->resetStats();
+    for (auto &c : l2s)
+        c->resetStats();
+    l3->resetStats();
+}
+
+} // namespace chameleon

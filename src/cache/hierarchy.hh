@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Three-level cache hierarchy from Table I: private 32KiB 4-way L1 and
+ * 256KiB 8-way L2 per core, one shared 12MiB 16-way L3. The hierarchy
+ * filters the instruction stream's memory references; only L3 misses
+ * and L3 dirty writebacks reach the heterogeneous memory system.
+ */
+
+#ifndef CHAMELEON_CACHE_HIERARCHY_HH
+#define CHAMELEON_CACHE_HIERARCHY_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/types.hh"
+
+namespace chameleon
+{
+
+/** Per-level parameters for the whole hierarchy. */
+struct HierarchyConfig
+{
+    std::uint32_t numCores = 12;
+    CacheConfig l1{"L1", 32_KiB, 4, 64, 4, ReplPolicy::Lru};
+    CacheConfig l2{"L2", 256_KiB, 8, 64, 12, ReplPolicy::Lru};
+    CacheConfig l3{"L3", 12_MiB, 16, 64, 38, ReplPolicy::Lru};
+};
+
+/** What one hierarchy access produced. */
+struct HierarchyResult
+{
+    /** Cycles to reach the level that hit (full miss: up to L3 probe). */
+    Cycle lookupLatency = 0;
+    /** True if the request must go to memory. */
+    bool llcMiss = false;
+    /** Dirty blocks evicted down to memory by fills along the way. */
+    std::vector<Addr> memWritebacks;
+};
+
+/** The full SRAM cache stack for all cores. */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const HierarchyConfig &config);
+
+    /** Access @p addr from @p core; fills all levels on a miss. */
+    HierarchyResult access(CoreId core, Addr addr, AccessType type);
+
+    /** Number of L3 misses so far (for MPKI accounting). */
+    std::uint64_t llcMisses() const { return l3->stats().misses; }
+
+    const Cache &l1Cache(CoreId core) const { return *l1s[core]; }
+    const Cache &l2Cache(CoreId core) const { return *l2s[core]; }
+    const Cache &l3Cache() const { return *l3; }
+
+    void resetStats();
+
+  private:
+    HierarchyConfig cfg;
+    std::vector<std::unique_ptr<Cache>> l1s;
+    std::vector<std::unique_ptr<Cache>> l2s;
+    std::unique_ptr<Cache> l3;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_CACHE_HIERARCHY_HH

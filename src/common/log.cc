@@ -1,0 +1,88 @@
+#include "common/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace chameleon
+{
+
+namespace
+{
+
+bool quietMode = false;
+
+void
+vreport(const char *tag, const char *fmt, va_list ap)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+}
+
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quietMode = quiet;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (quietMode)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (quietMode)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("info", fmt, ap);
+    va_end(ap);
+}
+
+std::string
+strFormat(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+} // namespace chameleon

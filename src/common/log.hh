@@ -1,0 +1,40 @@
+/**
+ * @file
+ * gem5-style status/error reporting. panic() is for internal simulator
+ * bugs (aborts); fatal() is for user/configuration errors (clean exit);
+ * warn()/inform() report conditions without stopping the simulation.
+ */
+
+#ifndef CHAMELEON_COMMON_LOG_HH
+#define CHAMELEON_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace chameleon
+{
+
+/** Abort the process: something happened that indicates a simulator bug. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit cleanly: the user asked for something the simulator cannot do. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by tests and sweeps). */
+void setQuiet(bool quiet);
+
+/** printf-style formatting into a std::string. */
+std::string strFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace chameleon
+
+#endif // CHAMELEON_COMMON_LOG_HH

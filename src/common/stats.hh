@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Lightweight statistics primitives: scalar counters, mean/max trackers,
+ * fixed-bucket histograms, geometric means, and a column-aligned table
+ * printer used by the benchmark harnesses to emit paper-style rows.
+ */
+
+#ifndef CHAMELEON_COMMON_STATS_HH
+#define CHAMELEON_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chameleon
+{
+
+/** Running mean / min / max / count over a stream of samples. */
+class MeanTracker
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum += v;
+        ++n;
+        if (v < mn || n == 1)
+            mn = v;
+        if (v > mx || n == 1)
+            mx = v;
+    }
+
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    double min() const { return n ? mn : 0.0; }
+    double max() const { return n ? mx : 0.0; }
+    std::uint64_t count() const { return n; }
+    double total() const { return sum; }
+
+    void
+    reset()
+    {
+        sum = 0.0;
+        mn = mx = 0.0;
+        n = 0;
+    }
+
+  private:
+    double sum = 0.0;
+    double mn = 0.0;
+    double mx = 0.0;
+    std::uint64_t n = 0;
+};
+
+/** Histogram over [0, bucketWidth * nBuckets) with an overflow bucket. */
+class Histogram
+{
+  public:
+    Histogram(double bucket_width, std::size_t n_buckets)
+        : width(bucket_width), counts(n_buckets + 1, 0)
+    {
+    }
+
+    void
+    sample(double v)
+    {
+        auto idx = static_cast<std::size_t>(v / width);
+        if (idx >= counts.size() - 1)
+            idx = counts.size() - 1;
+        ++counts[idx];
+        ++total;
+    }
+
+    std::uint64_t bucket(std::size_t i) const { return counts[i]; }
+    std::size_t buckets() const { return counts.size(); }
+    std::uint64_t samples() const { return total; }
+
+    /** Value below which @p frac of samples fall (bucket resolution). */
+    double percentile(double frac) const;
+
+  private:
+    double width;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t total = 0;
+};
+
+/** Geometric mean of a vector of strictly positive values. */
+double geoMean(const std::vector<double> &values);
+
+/** Arithmetic mean convenience. */
+double arithMean(const std::vector<double> &values);
+
+/**
+ * Column-aligned plain-text table, matching the row/series layout of the
+ * paper figures so bench output is diffable against EXPERIMENTS.md.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with aligned columns; first column left, rest right. */
+    std::string str() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format helper: fixed-point with @p digits decimals. */
+    static std::string fmt(double v, int digits = 2);
+
+  private:
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_COMMON_STATS_HH

@@ -1,0 +1,71 @@
+#include "common/timeline.hh"
+
+#include <algorithm>
+
+namespace chameleon
+{
+
+double
+Timeline::minValue() const
+{
+    double mn = 0.0;
+    bool first = true;
+    for (const auto &p : points) {
+        if (first || p.value < mn)
+            mn = p.value;
+        first = false;
+    }
+    return mn;
+}
+
+double
+Timeline::maxValue() const
+{
+    double mx = 0.0;
+    bool first = true;
+    for (const auto &p : points) {
+        if (first || p.value > mx)
+            mx = p.value;
+        first = false;
+    }
+    return mx;
+}
+
+std::string
+Timeline::sparkline(std::size_t width) const
+{
+    static const char levels[] = " .:-=+*#%@";
+    if (points.empty() || width == 0)
+        return "";
+
+    const Cycle t0 = points.front().when;
+    const Cycle t1 = std::max(points.back().when, t0 + 1);
+    std::vector<double> sums(width, 0.0);
+    std::vector<std::uint64_t> counts(width, 0);
+    for (const auto &p : points) {
+        auto col = static_cast<std::size_t>(
+            static_cast<double>(p.when - t0) /
+            static_cast<double>(t1 - t0) * static_cast<double>(width));
+        if (col >= width)
+            col = width - 1;
+        sums[col] += p.value;
+        ++counts[col];
+    }
+
+    const double lo = minValue();
+    const double hi = std::max(maxValue(), lo + 1e-12);
+    std::string out(width, ' ');
+    for (std::size_t c = 0; c < width; ++c) {
+        if (counts[c] == 0)
+            continue;
+        const double v = sums[c] / static_cast<double>(counts[c]);
+        auto lvl = static_cast<std::size_t>(
+            (v - lo) / (hi - lo) * (sizeof(levels) - 2));
+        if (lvl > sizeof(levels) - 2)
+            lvl = sizeof(levels) - 2;
+        out[c] = levels[lvl];
+    }
+    return out;
+}
+
+} // namespace chameleon

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Time-series recorder for the timeline experiments (Figs 2c and 3).
+ * Samples (time, value) pairs at a fixed stride and renders them as
+ * table rows or a coarse ASCII sparkline for quick visual inspection.
+ */
+
+#ifndef CHAMELEON_COMMON_TIMELINE_HH
+#define CHAMELEON_COMMON_TIMELINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace chameleon
+{
+
+/** One named series of (cycle, value) samples. */
+class Timeline
+{
+  public:
+    explicit Timeline(std::string series_name)
+        : name(std::move(series_name))
+    {
+    }
+
+    void
+    sample(Cycle when, double value)
+    {
+        points.push_back({when, value});
+    }
+
+    struct Point
+    {
+        Cycle when;
+        double value;
+    };
+
+    const std::string &seriesName() const { return name; }
+    const std::vector<Point> &samples() const { return points; }
+    bool empty() const { return points.empty(); }
+
+    /** Min/max over the recorded values (0 if empty). */
+    double minValue() const;
+    double maxValue() const;
+
+    /**
+     * Render an ASCII sparkline of @p width characters; each column is
+     * the mean of the samples that fall into its time slice.
+     */
+    std::string sparkline(std::size_t width = 64) const;
+
+  private:
+    std::string name;
+    std::vector<Point> points;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_COMMON_TIMELINE_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Chameleon-Opt — the optimized co-design (§V-C).
+ *
+ * The basic Chameleon can only use free *stacked* segments as cache.
+ * Chameleon-Opt proactively remaps allocated segments out of the
+ * stacked physical slot into free off-chip segments, so a group stays
+ * in cache mode as long as *any* of its segments is OS-free (the
+ * Fig 12/14 flowcharts): free space anywhere in the system becomes
+ * stacked-DRAM cache capacity. The group switches to PoM mode only
+ * when every segment is allocated.
+ *
+ * Invariant maintained by the transitions: in cache mode the stacked
+ * physical slot is nominally assigned to a *free* logical segment, so
+ * its storage is available to cache the group's hottest allocated
+ * segment (which may include the stacked-home segment itself, since
+ * that one may have been proactively remapped off-chip).
+ */
+
+#ifndef CHAMELEON_CORE_CHAMELEON_OPT_HH
+#define CHAMELEON_CORE_CHAMELEON_OPT_HH
+
+#include "core/chameleon.hh"
+
+namespace chameleon
+{
+
+/** The optimized Chameleon organization. */
+class ChameleonOptMemory : public ChameleonMemory
+{
+  public:
+    ChameleonOptMemory(DramDevice *stacked, DramDevice *offchip,
+                       const PomConfig &config = PomConfig());
+
+    MemAccessResult access(Addr phys, AccessType type,
+                           Cycle when) override;
+    const char *name() const override;
+
+    void isaAlloc(Addr seg_base, Cycle when) override;
+    void isaFree(Addr seg_base, Cycle when) override;
+
+    bool checkInvariants() const override;
+
+  private:
+    /**
+     * Proactive remap of two dead-data segments (freshly allocated
+     * @p p and free @p q): SRRT tag update only, no data transfer.
+     */
+    void remapFreePair(std::uint64_t group, std::uint32_t p,
+                       std::uint32_t q);
+
+    /** A free logical slot other than @p except, if one exists. */
+    std::optional<std::uint32_t> findFreeSlot(std::uint64_t group,
+                                              std::uint32_t except)
+        const;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_CORE_CHAMELEON_OPT_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Polymorphic stacked DRAM memory (Chung et al. patent [51]) — the
+ * Fig 22 comparison point.
+ *
+ * Like basic Chameleon it converts OS-free stacked segments into a
+ * hardware cache, but segment groups operating in PoM mode never hot
+ * swap: OS-allocated pages stay wherever the OS placed them, leaving
+ * the stacked DRAM under-utilized for capacity-bound phases. That is
+ * exactly basic Chameleon with PoM-mode swapping disabled, so the
+ * implementation is a thin configuration shim.
+ */
+
+#ifndef CHAMELEON_CORE_POLYMORPHIC_HH
+#define CHAMELEON_CORE_POLYMORPHIC_HH
+
+#include "core/chameleon.hh"
+
+namespace chameleon
+{
+
+/** Polymorphic memory organization. */
+class PolymorphicMemory : public ChameleonMemory
+{
+  public:
+    PolymorphicMemory(DramDevice *stacked, DramDevice *offchip,
+                      PomConfig config = PomConfig())
+        : ChameleonMemory(stacked, offchip, disableSwaps(config))
+    {
+    }
+
+    const char *
+    name() const override
+    {
+        return "polymorphic";
+    }
+
+  private:
+    static PomConfig
+    disableSwaps(PomConfig config)
+    {
+        config.enableHotSwaps = false;
+        return config;
+    }
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_CORE_POLYMORPHIC_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The Segment Restricted Remapping Table entry of Fig 7: the PoM SRT
+ * (tag permutation + shared competing counter) augmented with the
+ * Alloc Bit Vector, the mode bit and the dirty bit that make dynamic
+ * cache/PoM reconfiguration possible.
+ */
+
+#ifndef CHAMELEON_CORE_SRRT_HH
+#define CHAMELEON_CORE_SRRT_HH
+
+#include <cstdint>
+
+#include "memorg/segment_space.hh"
+
+namespace chameleon
+{
+
+/** Operating mode of one segment group. */
+enum class GroupMode : std::uint8_t { Pom = 0, Cache = 1 };
+
+/** Sentinel for "nothing cached in the stacked slot". */
+inline constexpr std::uint8_t noCachedSlot = 0xff;
+
+/**
+ * Per-group Chameleon state (Fig 7). Kept separate from the SrtEntry
+ * permutation so PoM and Chameleon share the remapping machinery.
+ */
+struct SrrtAugment
+{
+    /** Alloc Bit Vector: bit l set => logical segment l allocated. */
+    std::uint8_t abv = 0;
+    /** Mode bit: 1 = cache mode (boot state: everything free). */
+    GroupMode mode = GroupMode::Cache;
+    /** Dirty bit for the cache-mode resident of the stacked slot. */
+    bool dirty = false;
+    /** Logical slot currently cached in the stacked slot, if any. */
+    std::uint8_t cachedSlot = noCachedSlot;
+
+    bool
+    isAllocated(std::uint32_t logical) const
+    {
+        return (abv >> logical) & 1u;
+    }
+
+    void
+    setAllocated(std::uint32_t logical, bool on)
+    {
+        if (on)
+            abv |= static_cast<std::uint8_t>(1u << logical);
+        else
+            abv &= static_cast<std::uint8_t>(~(1u << logical));
+    }
+
+    /** True when every logical slot of an n-slot group is allocated. */
+    bool
+    allAllocated(std::uint32_t slots) const
+    {
+        const std::uint8_t full =
+            static_cast<std::uint8_t>((1u << slots) - 1u);
+        return (abv & full) == full;
+    }
+
+    bool hasCached() const { return cachedSlot != noCachedSlot; }
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_CORE_SRRT_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Small fully-associative TLB with LRU replacement and a fixed
+ * page-walk charge on misses. Off by default in the figure sweeps
+ * (translation effects are orthogonal to the memory-organization
+ * comparison) but exercised by the full-hierarchy mode and tests.
+ */
+
+#ifndef CHAMELEON_CPU_TLB_HH
+#define CHAMELEON_CPU_TLB_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace chameleon
+{
+
+/** TLB parameters. */
+struct TlbConfig
+{
+    std::uint32_t entries = 64;
+    std::uint64_t pageBytes = 4_KiB;
+    /** Page-table walk latency charged on a miss, CPU cycles. */
+    Cycle walkLatency = 50;
+};
+
+/** Per-core translation lookaside buffer. */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &config = TlbConfig()) : cfg(config) {}
+
+    /**
+     * Look up @p vaddr; returns the stall (0 on hit, walkLatency on
+     * miss) and installs the entry.
+     */
+    Cycle
+    lookup(Addr vaddr)
+    {
+        ++tick;
+        const Addr vpn = vaddr / cfg.pageBytes;
+        auto it = entries.find(vpn);
+        if (it != entries.end()) {
+            it->second = tick;
+            ++hitCount;
+            return 0;
+        }
+        ++missCount;
+        if (entries.size() >= cfg.entries)
+            evictLru();
+        entries.emplace(vpn, tick);
+        return cfg.walkLatency;
+    }
+
+    /** Drop a translation (page unmap / migration shootdown). */
+    void invalidate(Addr vaddr) { entries.erase(vaddr / cfg.pageBytes); }
+
+    void
+    flush()
+    {
+        entries.clear();
+    }
+
+    std::uint64_t hits() const { return hitCount; }
+    std::uint64_t misses() const { return missCount; }
+
+  private:
+    void
+    evictLru()
+    {
+        auto victim = entries.begin();
+        for (auto it = entries.begin(); it != entries.end(); ++it)
+            if (it->second < victim->second)
+                victim = it;
+        entries.erase(victim);
+    }
+
+    TlbConfig cfg;
+    std::unordered_map<Addr, std::uint64_t> entries;
+    std::uint64_t tick = 0;
+    std::uint64_t hitCount = 0;
+    std::uint64_t missCount = 0;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_CPU_TLB_HH

@@ -1,0 +1,163 @@
+#include "dram/dram_device.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace chameleon
+{
+
+DramDevice::DramDevice(const DramTimings &timings)
+    : cfg(timings)
+{
+    if (!isPowerOf2(cfg.rowBytes))
+        fatal("DramDevice: rowBytes %u must be a power of two",
+              cfg.rowBytes);
+    if (cfg.channels == 0 || cfg.ranksPerChannel == 0 ||
+        cfg.banksPerRank == 0)
+        fatal("DramDevice: degenerate geometry");
+
+    cpuPerMemClock = cpuFreqGhz / cfg.busFreqGhz;
+    tCasCpu = memToCpu(cfg.tCas);
+    tRcdCpu = memToCpu(cfg.tRcd);
+    tRpCpu = memToCpu(cfg.tRp);
+    tRasCpu = memToCpu(cfg.tRas);
+    tBurstCpu = memToCpu(cfg.burstCycles());
+    tRfcCpu = static_cast<Cycle>(cfg.tRfcNs * cpuFreqGhz + 0.5);
+    tRefiCpu = static_cast<Cycle>(cfg.tRefiNs * cpuFreqGhz + 0.5);
+
+    channels.resize(cfg.channels);
+    for (auto &ch : channels)
+        ch.banks.resize(cfg.ranksPerChannel * cfg.banksPerRank);
+}
+
+void
+DramDevice::mapAddress(Addr addr, std::uint32_t &channel,
+                       std::uint32_t &bank, std::uint64_t &row) const
+{
+    // 64B blocks interleave across channels; rows interleave across the
+    // banks of a channel. This is the standard open-page mapping that
+    // gives both channel parallelism and row locality for streams.
+    const Addr block = addr / 64;
+    channel = static_cast<std::uint32_t>(block % cfg.channels);
+    const Addr chan_local = block / cfg.channels;
+    const Addr blocks_per_row = cfg.rowBytes / 64;
+    const Addr row_seq = chan_local / blocks_per_row;
+    const std::uint32_t banks = cfg.ranksPerChannel * cfg.banksPerRank;
+    bank = static_cast<std::uint32_t>(row_seq % banks);
+    row = row_seq / banks;
+}
+
+Cycle
+DramDevice::refreshAdjust(Cycle start)
+{
+    // All banks are unavailable for tRFC at the top of each tREFI
+    // window (all-bank refresh). Push the start time out of the
+    // blackout if it lands inside one.
+    const Cycle win_start = (start / tRefiCpu) * tRefiCpu;
+    if (start < win_start + tRfcCpu) {
+        ++statsData.refreshStalls;
+        return win_start + tRfcCpu;
+    }
+    return start;
+}
+
+Cycle
+DramDevice::access(Addr addr, AccessType type, Cycle when)
+{
+    if (addr >= cfg.capacity)
+        panic("DramDevice(%s): address %#llx beyond capacity %#llx",
+              cfg.name, static_cast<unsigned long long>(addr),
+              static_cast<unsigned long long>(cfg.capacity));
+
+    std::uint32_t chan_idx, bank_idx;
+    std::uint64_t row;
+    mapAddress(addr, chan_idx, bank_idx, row);
+    Channel &chan = channels[chan_idx];
+    Bank &bank = chan.banks[bank_idx];
+
+    Cycle start = refreshAdjust(std::max(when, bank.readyAt));
+
+    Cycle data_ready;
+    if (bank.openRow == row) {
+        // Row hit: CAS only. Subsequent same-row accesses pipeline
+        // behind the data bus, so the bank frees as soon as the
+        // column command issues.
+        ++statsData.rowHits;
+        data_ready = start + tCasCpu;
+        bank.readyAt = start + tBurstCpu;
+    } else if (bank.openRow == noRow) {
+        // Row miss on a precharged bank: ACT then CAS.
+        ++statsData.rowMisses;
+        bank.activatedAt = start;
+        data_ready = start + tRcdCpu + tCasCpu;
+        bank.openRow = row;
+        bank.readyAt = start + tRcdCpu + tBurstCpu;
+    } else {
+        // Row conflict: precharge (respecting tRAS), ACT, CAS.
+        ++statsData.rowConflicts;
+        const Cycle pre_at =
+            std::max(start, bank.activatedAt + tRasCpu);
+        const Cycle act_at = pre_at + tRpCpu;
+        bank.activatedAt = act_at;
+        data_ready = act_at + tRcdCpu + tCasCpu;
+        bank.openRow = row;
+        bank.readyAt = act_at + tRcdCpu + tBurstCpu;
+    }
+
+    // Serialize on the channel data bus.
+    const Cycle xfer_start = std::max(data_ready, chan.busFreeAt);
+    const Cycle done = xfer_start + tBurstCpu;
+    chan.busFreeAt = done;
+
+    statsData.bytesTransferred += 64;
+    if (type == AccessType::Read) {
+        ++statsData.reads;
+        statsData.readLatencySum += done - when;
+    } else {
+        ++statsData.writes;
+    }
+    return done;
+}
+
+Cycle
+DramDevice::bulkTransfer(Addr addr, std::uint64_t bytes, AccessType type,
+                         Cycle when)
+{
+    Cycle done = when;
+    std::uint32_t k = 0;
+    for (std::uint64_t off = 0; off < bytes; off += 64, ++k) {
+        Addr a = addr + off;
+        if (a >= cfg.capacity)
+            a %= cfg.capacity;
+        if (k % demandImpactStride == 0) {
+            done = access(a, type, when);
+        } else {
+            // Idle-slot steal: bandwidth accounted, no contention.
+            statsData.bytesTransferred += 64;
+            if (type == AccessType::Read)
+                ++statsData.reads;
+            else
+                ++statsData.writes;
+            done += tBurstCpu;
+        }
+    }
+    return done;
+}
+
+Cycle
+DramDevice::idleHitLatency() const
+{
+    return tCasCpu + tBurstCpu;
+}
+
+Cycle
+DramDevice::estimatedQueueDelay(Cycle when) const
+{
+    Cycle total = 0;
+    for (const auto &chan : channels)
+        total += chan.busFreeAt > when ? chan.busFreeAt - when : 0;
+    return total / channels.size();
+}
+
+} // namespace chameleon

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * DRAM device geometry and timing parameters (Table I of the paper),
+ * expressed in memory-controller clock cycles, plus the conversion to
+ * the CPU clock domain that the rest of the simulator operates in.
+ */
+
+#ifndef CHAMELEON_DRAM_TIMINGS_HH
+#define CHAMELEON_DRAM_TIMINGS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace chameleon
+{
+
+/**
+ * Static description of one DRAM pool (stacked or off-chip). All t*
+ * values are in memory clock cycles at @ref busFreqGhz; tRfcNs is in
+ * nanoseconds as quoted by the paper.
+ */
+struct DramTimings
+{
+    /** Human-readable pool name for reports. */
+    const char *name = "dram";
+
+    /** Memory-controller command clock in GHz (DDR doubles data rate). */
+    double busFreqGhz = 0.8;
+
+    /** Data bus width per channel in bits. */
+    std::uint32_t busBits = 64;
+
+    /** Channel / rank / bank geometry. */
+    std::uint32_t channels = 2;
+    std::uint32_t ranksPerChannel = 2;
+    std::uint32_t banksPerRank = 8;
+
+    /** Row buffer size per bank in bytes. */
+    std::uint32_t rowBytes = 2048;
+
+    /** Core timing parameters in memory clock cycles. */
+    std::uint32_t tCas = 11;
+    std::uint32_t tRcd = 11;
+    std::uint32_t tRp = 11;
+    std::uint32_t tRas = 28;
+
+    /** Refresh: cycle time in ns and interval in ns (JEDEC 7.8us). */
+    double tRfcNs = 530.0;
+    double tRefiNs = 7800.0;
+
+    /** Total pool capacity in bytes. */
+    std::uint64_t capacity = 20_GiB;
+
+    /** Peak bandwidth in bytes/second (DDR: two beats per clock). */
+    double
+    peakBandwidth() const
+    {
+        return busFreqGhz * 1e9 * 2.0 *
+               (static_cast<double>(busBits) / 8.0) * channels;
+    }
+
+    /** Memory cycles needed to stream one 64B block over the bus. */
+    std::uint32_t
+    burstCycles(std::uint32_t block_bytes = 64) const
+    {
+        const std::uint32_t bytes_per_clock = (busBits / 8) * 2;
+        const std::uint32_t c = ceilDiv(block_bytes, bytes_per_clock);
+        return c > 0 ? c : 1;
+    }
+};
+
+/**
+ * Table I stacked DRAM: 1.6GHz (DDR 3.2), 128-bit channels, 2 channels,
+ * 2 ranks, 8 banks, 11-11-11-28, tRFC 138ns, 4GB (scaled by @p scale).
+ */
+inline DramTimings
+stackedDramConfig(std::uint64_t scale = 1)
+{
+    DramTimings t;
+    t.name = "stacked";
+    t.busFreqGhz = 1.6;
+    t.busBits = 128;
+    t.channels = 2;
+    t.ranksPerChannel = 2;
+    t.banksPerRank = 8;
+    t.tCas = t.tRcd = t.tRp = 11;
+    t.tRas = 28;
+    t.tRfcNs = 138.0;
+    t.capacity = 4_GiB / scale;
+    return t;
+}
+
+/**
+ * Table I off-chip DRAM: 800MHz (DDR 1.6), 64-bit channels, 2 channels,
+ * 2 ranks, 8 banks, 11-11-11-28, tRFC 530ns, 20GB (scaled by @p scale).
+ */
+inline DramTimings
+offchipDramConfig(std::uint64_t scale = 1, std::uint64_t capacity = 20_GiB)
+{
+    DramTimings t;
+    t.name = "offchip";
+    t.busFreqGhz = 0.8;
+    t.busBits = 64;
+    t.channels = 2;
+    t.ranksPerChannel = 2;
+    t.banksPerRank = 8;
+    t.tCas = t.tRcd = t.tRp = 11;
+    t.tRas = 28;
+    t.tRfcNs = 530.0;
+    t.capacity = capacity / scale;
+    return t;
+}
+
+/** CPU clock in GHz used to convert memory cycles to CPU cycles. */
+inline constexpr double cpuFreqGhz = 3.6;
+
+} // namespace chameleon
+
+#endif // CHAMELEON_DRAM_TIMINGS_HH

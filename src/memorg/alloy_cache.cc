@@ -1,0 +1,149 @@
+#include "memorg/alloy_cache.hh"
+
+#include "common/log.hh"
+
+namespace chameleon
+{
+
+AlloyCache::AlloyCache(DramDevice *stacked_dev, DramDevice *offchip_dev,
+                       const AlloyConfig &config)
+    : MemOrganization(stacked_dev, offchip_dev), cfg(config)
+{
+    if (!stacked)
+        fatal("AlloyCache: needs a stacked device");
+    if (cfg.lineBytes != 64)
+        fatal("AlloyCache: only 64B lines are supported");
+    const auto usable = static_cast<std::uint64_t>(
+        static_cast<double>(stacked->capacity()) * cfg.tadEfficiency);
+    lines.resize(usable / cfg.lineBytes);
+    if (lines.empty())
+        fatal("AlloyCache: stacked capacity too small");
+    // Start weakly predicting hit (2 on the 0..3 scale).
+    predictor.assign(cfg.predictorEntries ? cfg.predictorEntries : 1,
+                     2);
+}
+
+bool
+AlloyCache::predictHit(Addr phys) const
+{
+    if (cfg.predictorEntries == 0)
+        return true; // always-serial fallback
+    const std::size_t idx =
+        ((phys >> 12)) % cfg.predictorEntries;
+    return predictor[idx] >= 2;
+}
+
+void
+AlloyCache::trainPredictor(Addr phys, bool hit)
+{
+    if (cfg.predictorEntries == 0)
+        return;
+    const std::size_t idx =
+        ((phys >> 12)) % cfg.predictorEntries;
+    std::uint8_t &ctr = predictor[idx];
+    if (hit && ctr < 3)
+        ++ctr;
+    else if (!hit && ctr > 0)
+        --ctr;
+}
+
+std::uint64_t
+AlloyCache::osVisibleBytes() const
+{
+    // Caches duplicate data: only the off-chip pool is OS-visible.
+    return offchip->capacity();
+}
+
+const char *
+AlloyCache::name() const
+{
+    return "alloy-cache";
+}
+
+std::uint64_t
+AlloyCache::lineIndex(Addr phys) const
+{
+    return (phys / cfg.lineBytes) % lines.size();
+}
+
+Addr
+AlloyCache::tagOf(Addr phys) const
+{
+    return (phys / cfg.lineBytes) / lines.size();
+}
+
+Addr
+AlloyCache::resolveLocation(Addr phys) const
+{
+    const std::uint64_t idx = lineIndex(phys);
+    const Line &line = lines[idx];
+    if (line.valid && line.tag == tagOf(phys))
+        return stackedLoc(idx * cfg.lineBytes);
+    return offchipLoc(phys / cfg.lineBytes * cfg.lineBytes +
+                      (phys % cfg.lineBytes));
+}
+
+MemAccessResult
+AlloyCache::access(Addr phys, AccessType type, Cycle when)
+{
+    if (phys >= osVisibleBytes())
+        panic("alloy-cache: access %#llx beyond OS-visible space",
+              static_cast<unsigned long long>(phys));
+
+    const std::uint64_t idx = lineIndex(phys);
+    const Addr line_home = phys / cfg.lineBytes * cfg.lineBytes;
+    const Addr slot_addr = idx * cfg.lineBytes;
+    Line &line = lines[idx];
+
+    MemAccessResult result;
+    const bool predicted_hit = predictHit(phys);
+    // The TAD probe streams tag+data in one stacked access.
+    const Cycle probe_done = stackedAccess(slot_addr, type, when);
+
+    if (line.valid && line.tag == tagOf(phys)) {
+        if (!predicted_hit) {
+            // MAP mispredicted miss: the speculative off-chip read
+            // was issued in parallel and its bandwidth is wasted.
+            offchipAccess(line_home, AccessType::Read, when);
+        }
+        trainPredictor(phys, true);
+        result.stackedHit = true;
+        result.done = probe_done;
+        if (type == AccessType::Write)
+            line.dirty = true;
+        recordDemand(type, when, result.done, true);
+        return result;
+    }
+
+    // Miss: a predicted miss overlapped the off-chip access with the
+    // TAD probe; a predicted hit pays the serial probe-then-fetch.
+    trainPredictor(phys, false);
+    result.stackedHit = false;
+    const Cycle offchip_issue = predicted_hit ? probe_done : when;
+    result.done =
+        offchipAccess(line_home, AccessType::Read, offchip_issue);
+
+    // Victim writeback (posted).
+    if (line.valid && line.dirty) {
+        const Addr victim_home =
+            (line.tag * lines.size() + idx) * cfg.lineBytes;
+        offchipAccess(victim_home, AccessType::Write, result.done);
+        funcCopy(stackedLoc(slot_addr), offchipLoc(victim_home),
+                 cfg.lineBytes);
+        ++statsData.writebacks;
+    }
+
+    // Fill the TAD (posted).
+    stackedAccess(slot_addr, AccessType::Write, result.done);
+    funcCopy(offchipLoc(line_home), stackedLoc(slot_addr),
+             cfg.lineBytes);
+    line.valid = true;
+    line.tag = tagOf(phys);
+    line.dirty = (type == AccessType::Write);
+    ++statsData.fills;
+
+    recordDemand(type, when, result.done, false);
+    return result;
+}
+
+} // namespace chameleon

@@ -1,0 +1,54 @@
+#include "memorg/flat_memory.hh"
+
+#include "common/log.hh"
+
+namespace chameleon
+{
+
+FlatMemory::FlatMemory(DramDevice *stacked_dev, DramDevice *offchip_dev)
+    : MemOrganization(stacked_dev, offchip_dev),
+      stackedBytes(stacked_dev ? stacked_dev->capacity() : 0)
+{
+}
+
+std::uint64_t
+FlatMemory::osVisibleBytes() const
+{
+    return stackedBytes + offchip->capacity();
+}
+
+const char *
+FlatMemory::name() const
+{
+    return stacked ? "numa-flat" : "flat-ddr";
+}
+
+Addr
+FlatMemory::resolveLocation(Addr phys) const
+{
+    if (phys < stackedBytes)
+        return stackedLoc(phys);
+    return offchipLoc(phys - stackedBytes);
+}
+
+MemAccessResult
+FlatMemory::access(Addr phys, AccessType type, Cycle when)
+{
+    if (phys >= osVisibleBytes())
+        panic("%s: access %#llx beyond OS-visible %#llx", name(),
+              static_cast<unsigned long long>(phys),
+              static_cast<unsigned long long>(osVisibleBytes()));
+
+    MemAccessResult result;
+    if (phys < stackedBytes) {
+        result.done = stackedAccess(phys, type, when);
+        result.stackedHit = true;
+    } else {
+        result.done = offchipAccess(phys - stackedBytes, type, when);
+        result.stackedHit = false;
+    }
+    recordDemand(type, when, result.done, result.stackedHit);
+    return result;
+}
+
+} // namespace chameleon

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Flat (non-remapping) memory organizations.
+ *
+ * Two flavours cover three of the paper's comparison points:
+ *  - off-chip only: the "baseline_20GB_DDR3" / "baseline_24GB_DDR3"
+ *    systems of Fig 18 (no stacked DRAM at all);
+ *  - NUMA flat: stacked + off-chip both OS-visible at their home
+ *    addresses with no hardware remapping — the substrate for the
+ *    NUMA-aware allocator and AutoNUMA experiments (Figs 2a/2b/20),
+ *    where placement is entirely the OS's job.
+ */
+
+#ifndef CHAMELEON_MEMORG_FLAT_MEMORY_HH
+#define CHAMELEON_MEMORG_FLAT_MEMORY_HH
+
+#include "memorg/mem_organization.hh"
+
+namespace chameleon
+{
+
+/**
+ * Identity-mapped memory. OS-visible space is [0, S) on the stacked
+ * device (when present) followed by [S, S+O) on the off-chip device.
+ */
+class FlatMemory : public MemOrganization
+{
+  public:
+    /** @p stacked may be null for the DDR-only baselines. */
+    FlatMemory(DramDevice *stacked, DramDevice *offchip);
+
+    std::uint64_t osVisibleBytes() const override;
+    MemAccessResult access(Addr phys, AccessType type,
+                           Cycle when) override;
+    const char *name() const override;
+
+  protected:
+    Addr resolveLocation(Addr phys) const override;
+
+  private:
+    std::uint64_t stackedBytes;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_MEMORG_FLAT_MEMORY_HH

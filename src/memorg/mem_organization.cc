@@ -1,0 +1,138 @@
+#include "memorg/mem_organization.hh"
+
+#include "common/log.hh"
+
+namespace chameleon
+{
+
+MemOrganization::MemOrganization(DramDevice *stacked_dev,
+                                 DramDevice *offchip_dev)
+    : stacked(stacked_dev), offchip(offchip_dev)
+{
+    if (!offchip)
+        fatal("MemOrganization: off-chip device is mandatory");
+}
+
+void
+MemOrganization::resetStats()
+{
+    statsData = MemOrgStats();
+    if (stacked)
+        stacked->resetStats();
+    offchip->resetStats();
+}
+
+Cycle
+MemOrganization::stackedAccess(Addr device_addr, AccessType type,
+                               Cycle when)
+{
+    if (!stacked)
+        panic("%s: stacked access without a stacked device", name());
+    return stacked->access(device_addr, type, when);
+}
+
+Cycle
+MemOrganization::offchipAccess(Addr device_addr, AccessType type,
+                               Cycle when)
+{
+    return offchip->access(device_addr, type, when);
+}
+
+void
+MemOrganization::recordDemand(AccessType type, Cycle issued, Cycle done,
+                              bool stacked_hit)
+{
+    if (type == AccessType::Read) {
+        ++statsData.reads;
+        statsData.latencySum += done - issued;
+    } else {
+        ++statsData.writes;
+    }
+    if (stacked_hit)
+        ++statsData.stackedServed;
+    else
+        ++statsData.offchipServed;
+}
+
+void
+MemOrganization::functionalWrite(Addr phys, std::uint64_t value)
+{
+    if (!functionalOn)
+        return;
+    blockData[resolveLocation(phys) / 64 * 64] = value;
+}
+
+std::optional<std::uint64_t>
+MemOrganization::functionalRead(Addr phys)
+{
+    if (!functionalOn)
+        return std::nullopt;
+    const Addr loc = resolveLocation(phys) / 64 * 64;
+    auto it = blockData.find(loc);
+    if (it == blockData.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+MemOrganization::funcMove(Addr src_loc, Addr dst_loc, std::uint64_t bytes)
+{
+    if (!functionalOn)
+        return;
+    for (std::uint64_t off = 0; off < bytes; off += 64) {
+        auto it = blockData.find(src_loc + off);
+        if (it != blockData.end()) {
+            blockData[dst_loc + off] = it->second;
+            blockData.erase(it);
+        } else {
+            blockData.erase(dst_loc + off);
+        }
+    }
+}
+
+void
+MemOrganization::funcCopy(Addr src_loc, Addr dst_loc, std::uint64_t bytes)
+{
+    if (!functionalOn)
+        return;
+    for (std::uint64_t off = 0; off < bytes; off += 64) {
+        auto it = blockData.find(src_loc + off);
+        if (it != blockData.end())
+            blockData[dst_loc + off] = it->second;
+        else
+            blockData.erase(dst_loc + off);
+    }
+}
+
+void
+MemOrganization::funcSwap(Addr loc_a, Addr loc_b, std::uint64_t bytes)
+{
+    if (!functionalOn)
+        return;
+    for (std::uint64_t off = 0; off < bytes; off += 64) {
+        auto ia = blockData.find(loc_a + off);
+        auto ib = blockData.find(loc_b + off);
+        const bool has_a = ia != blockData.end();
+        const bool has_b = ib != blockData.end();
+        if (has_a && has_b) {
+            std::swap(ia->second, ib->second);
+        } else if (has_a) {
+            blockData[loc_b + off] = ia->second;
+            blockData.erase(loc_a + off);
+        } else if (has_b) {
+            blockData[loc_a + off] = ib->second;
+            blockData.erase(loc_b + off);
+        }
+    }
+}
+
+void
+MemOrganization::funcClear(Addr loc, std::uint64_t bytes)
+{
+    if (!functionalOn)
+        return;
+    for (std::uint64_t off = 0; off < bytes; off += 64)
+        blockData.erase(loc + off);
+}
+
+} // namespace chameleon

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Abstract interface for a heterogeneous memory organization: the
+ * hardware between the LLC and the two DRAM pools. Concrete designs
+ * are the paper's comparison points (flat DDR baselines, Alloy cache,
+ * PoM, Polymorphic memory) and the contribution itself (Chameleon and
+ * Chameleon-Opt in src/core).
+ *
+ * Every organization also carries an optional *functional* data layer:
+ * a sparse 64-bit-value-per-64B-block store keyed by *device location*
+ * (not OS-visible address). Data physically moves when the controller
+ * swaps, fills, writes back or clears segments, so tests can verify
+ * against a shadow memory that no remapping path ever loses or leaks
+ * bytes. Timing-only runs leave it disabled for speed.
+ */
+
+#ifndef CHAMELEON_MEMORG_MEM_ORGANIZATION_HH
+#define CHAMELEON_MEMORG_MEM_ORGANIZATION_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "dram/dram_device.hh"
+#include "os/isa_hooks.hh"
+
+namespace chameleon
+{
+
+/** Result of one demand access through an organization. */
+struct MemAccessResult
+{
+    /** Completion cycle of the critical word. */
+    Cycle done = 0;
+    /** Serviced by stacked DRAM (the paper's "stacked DRAM hit"). */
+    bool stackedHit = false;
+};
+
+/** Counters shared by all organizations. */
+struct MemOrgStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t stackedServed = 0;
+    std::uint64_t offchipServed = 0;
+    /**
+     * Bidirectional segment exchanges: PoM-mode hot swaps plus
+     * cache-mode dirty-evict fills (§VI-B counts those as swaps).
+     */
+    std::uint64_t swaps = 0;
+    /** Cache-mode segment fills (clean evictions included). */
+    std::uint64_t fills = 0;
+    /** Dirty cache-mode segments written back. */
+    std::uint64_t writebacks = 0;
+    /** Segment moves initiated by ISA-Alloc/ISA-Free transitions. */
+    std::uint64_t isaMoves = 0;
+    /** Sum over reads of (completion - issue), for AMAL. */
+    std::uint64_t latencySum = 0;
+
+    double
+    stackedHitRate() const
+    {
+        const std::uint64_t total = stackedServed + offchipServed;
+        return total ? static_cast<double>(stackedServed) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    double
+    avgMemLatency() const
+    {
+        return reads ? static_cast<double>(latencySum) /
+                           static_cast<double>(reads)
+                     : 0.0;
+    }
+};
+
+/**
+ * Base class: owns the two device handles, the stats block and the
+ * functional data store. @ref stacked may be null for organizations
+ * that have no fast memory (the flat DDR baselines).
+ */
+class MemOrganization : public IsaListener
+{
+  public:
+    MemOrganization(DramDevice *stacked, DramDevice *offchip);
+    ~MemOrganization() override = default;
+
+    MemOrganization(const MemOrganization &) = delete;
+    MemOrganization &operator=(const MemOrganization &) = delete;
+
+    /** Bytes of physical memory the OS may allocate. */
+    virtual std::uint64_t osVisibleBytes() const = 0;
+
+    /** Perform one 64B demand access at OS-visible address @p phys. */
+    virtual MemAccessResult access(Addr phys, AccessType type,
+                                   Cycle when) = 0;
+
+    /** Human-readable design name for reports. */
+    virtual const char *name() const = 0;
+
+    /** Default ISA hooks: organizations that do not use them ignore
+     *  the notifications (PoM, Alloy, flat). */
+    std::uint64_t isaSegmentBytes() const override { return 2048; }
+    void isaAlloc(Addr, Cycle) override {}
+    void isaFree(Addr, Cycle) override {}
+
+    const MemOrgStats &stats() const { return statsData; }
+    void resetStats();
+
+    /** Enable the functional data layer (tests). */
+    void enableFunctional(bool on) { functionalOn = on; }
+    bool functionalEnabled() const { return functionalOn; }
+
+    /**
+     * Functionally store @p value at OS-visible address @p phys
+     * (64B-block granularity; the block's current device location is
+     * resolved through the organization's mapping).
+     */
+    void functionalWrite(Addr phys, std::uint64_t value);
+
+    /** Functionally load the block value at OS-visible @p phys. */
+    std::optional<std::uint64_t> functionalRead(Addr phys);
+
+  protected:
+    /**
+     * Device-location encoding for the functional store: stacked
+     * locations are [0, S), off-chip locations are offset by 1<<48.
+     */
+    static constexpr Addr offchipLocBase = 1ull << 48;
+
+    static Addr
+    stackedLoc(Addr device_addr)
+    {
+        return device_addr;
+    }
+
+    static Addr
+    offchipLoc(Addr device_addr)
+    {
+        return offchipLocBase + device_addr;
+    }
+
+    /**
+     * Resolve an OS-visible address to the device location a read
+     * would be served from right now.
+     */
+    virtual Addr resolveLocation(Addr phys) const = 0;
+
+    /** Timed 64B access helpers (update served counters). */
+    Cycle stackedAccess(Addr device_addr, AccessType type, Cycle when);
+    Cycle offchipAccess(Addr device_addr, AccessType type, Cycle when);
+
+    /** Record a demand access outcome into the stats block. */
+    void recordDemand(AccessType type, Cycle issued, Cycle done,
+                      bool stacked_hit);
+
+    /** Functional block movement, no-ops when the layer is off. */
+    void funcMove(Addr src_loc, Addr dst_loc, std::uint64_t bytes);
+    void funcCopy(Addr src_loc, Addr dst_loc, std::uint64_t bytes);
+    void funcSwap(Addr loc_a, Addr loc_b, std::uint64_t bytes);
+    void funcClear(Addr loc, std::uint64_t bytes);
+
+    DramDevice *stacked;
+    DramDevice *offchip;
+    MemOrgStats statsData;
+
+  private:
+    bool functionalOn = false;
+    std::unordered_map<Addr, std::uint64_t> blockData;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_MEMORG_MEM_ORGANIZATION_HH

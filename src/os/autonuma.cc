@@ -1,0 +1,76 @@
+#include "os/autonuma.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chameleon
+{
+
+AutoNuma::AutoNuma(MiniOs &os_ref, const AutoNumaConfig &config)
+    : os(os_ref), cfg(config)
+{
+}
+
+void
+AutoNuma::recordAccess(ProcId pid, Addr vaddr, MemNode node, Cycle when)
+{
+    while (when >= epochStart + cfg.epochCycles)
+        endEpoch(epochStart + cfg.epochCycles);
+
+    if (node == MemNode::Stacked) {
+        ++current.localAccesses;
+    } else {
+        ++current.remoteAccesses;
+        ++remoteHot[{pid, vaddr / pageBytes}];
+    }
+}
+
+void
+AutoNuma::endEpoch(Cycle when)
+{
+    current.endCycle = when;
+
+    // Threshold-derived per-page bar: higher thresholds migrate any
+    // remotely touched page; lower ones demand more evidence.
+    const auto min_count = static_cast<std::uint32_t>(std::max(
+        1.0, std::round((1.0 - cfg.threshold) * 10.0)));
+
+    // Hottest pages first so a nearly-full stacked node receives the
+    // most valuable migrations before hitting -ENOMEM.
+    std::vector<std::pair<PageKey, std::uint32_t>> candidates;
+    candidates.reserve(remoteHot.size());
+    for (const auto &kv : remoteHot)
+        if (kv.second >= min_count)
+            candidates.push_back(kv);
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+
+    bool enomem = false;
+    for (const auto &[key, count] : candidates) {
+        if (cfg.maxMigrationsPerEpoch &&
+            current.migrated >= cfg.maxMigrationsPerEpoch)
+            break;
+        if (enomem)
+            break;
+        if (os.migratePage(key.pid, key.vpn, MemNode::Stacked, when)) {
+            ++current.migrated;
+            ++migrationsTotal;
+        } else {
+            ++current.failedMigrations;
+            // Once the stacked node is out of frames, further
+            // attempts this epoch will fail too.
+            if (os.allocator().freeBytesInZone(MemNode::Stacked) <
+                pageBytes)
+                enomem = true;
+        }
+    }
+
+    history.push_back(current);
+    current = AutoNumaEpoch();
+    remoteHot.clear();
+    epochStart = when;
+}
+
+} // namespace chameleon

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Linux Automatic NUMA Balancing model (§II-B2 / §III-A2).
+ *
+ * Real AutoNUMA poisons PTEs so that accesses fault and reveal which
+ * pages a task touches remotely; every numa_balancing_scan_period it
+ * migrates misplaced pages toward the accessing socket while free
+ * space is available, failing with -ENOMEM once the target node is
+ * full. We model the same loop: the system feeds every memory access
+ * into recordAccess() (a superset of the fault-sampled information),
+ * and at each epoch boundary pages whose remote access count clears a
+ * threshold-derived bar migrate to the stacked node until it runs out
+ * of free frames.
+ *
+ * The paper's numa_period_threshold (70/80/90%) controls migration
+ * aggressiveness: a higher threshold migrates misplaced pages "more
+ * rapidly" (§III-A2). We map threshold t to a per-page minimum remote
+ * access count of max(1, round((1-t)*10)) per epoch — 90% migrates
+ * any remotely-touched page, 70% only clearly-hot ones.
+ */
+
+#ifndef CHAMELEON_OS_AUTONUMA_HH
+#define CHAMELEON_OS_AUTONUMA_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "os/mini_os.hh"
+
+namespace chameleon
+{
+
+/** AutoNUMA tuning parameters. */
+struct AutoNumaConfig
+{
+    /** numa_balancing_scan_period in CPU cycles (paper: 10M). */
+    Cycle epochCycles = 10'000'000;
+    /** numa_period_threshold in [0,1] (paper: 0.7 / 0.8 / 0.9). */
+    double threshold = 0.9;
+    /** Cap on migrations per epoch (0 = unlimited). */
+    std::uint64_t maxMigrationsPerEpoch = 0;
+};
+
+/** Per-epoch outcome, for the Fig 2c timeline. */
+struct AutoNumaEpoch
+{
+    Cycle endCycle = 0;
+    std::uint64_t localAccesses = 0;
+    std::uint64_t remoteAccesses = 0;
+    std::uint64_t migrated = 0;
+    std::uint64_t failedMigrations = 0;
+
+    double
+    remoteRatio() const
+    {
+        const std::uint64_t total = localAccesses + remoteAccesses;
+        return total ? static_cast<double>(remoteAccesses) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/** The balancing daemon. One instance per MiniOs. */
+class AutoNuma
+{
+  public:
+    AutoNuma(MiniOs &os, const AutoNumaConfig &config);
+
+    /**
+     * Observe one memory access. @p node is the zone that served it.
+     * Crossing an epoch boundary triggers the migration pass.
+     */
+    void recordAccess(ProcId pid, Addr vaddr, MemNode node, Cycle when);
+
+    /** Epoch history (grows over the run). */
+    const std::vector<AutoNumaEpoch> &epochs() const { return history; }
+
+    std::uint64_t totalMigrations() const { return migrationsTotal; }
+
+  private:
+    void endEpoch(Cycle when);
+
+    struct PageKey
+    {
+        ProcId pid;
+        std::uint64_t vpn;
+
+        bool
+        operator==(const PageKey &o) const
+        {
+            return pid == o.pid && vpn == o.vpn;
+        }
+    };
+
+    struct PageKeyHash
+    {
+        std::size_t
+        operator()(const PageKey &k) const
+        {
+            return std::hash<std::uint64_t>()(
+                (static_cast<std::uint64_t>(k.pid) << 40) ^ k.vpn);
+        }
+    };
+
+    MiniOs &os;
+    AutoNumaConfig cfg;
+    Cycle epochStart = 0;
+    AutoNumaEpoch current;
+    std::unordered_map<PageKey, std::uint32_t, PageKeyHash> remoteHot;
+    std::vector<AutoNumaEpoch> history;
+    std::uint64_t migrationsTotal = 0;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_OS_AUTONUMA_HH

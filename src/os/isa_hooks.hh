@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The hardware side of the ISA-Alloc / ISA-Free co-design interface.
+ *
+ * Algorithms 1 and 2 of the paper instrument the OS page allocator and
+ * reclamation routines to execute one ISA-Alloc / ISA-Free instruction
+ * per hardware segment covered by the page being allocated or freed.
+ * The mini-OS calls this listener at exactly those points; the memory
+ * organization (Chameleon's SRRT controller) implements it.
+ */
+
+#ifndef CHAMELEON_OS_ISA_HOOKS_HH
+#define CHAMELEON_OS_ISA_HOOKS_HH
+
+#include "common/types.hh"
+
+namespace chameleon
+{
+
+/** Receiver of ISA-Alloc / ISA-Free notifications. */
+class IsaListener
+{
+  public:
+    virtual ~IsaListener() = default;
+
+    /**
+     * Hardware segment granularity in bytes; the OS divides each
+     * allocated/freed page into this many segment notifications
+     * (Algorithm 1 line 17). Detected by the OS "at boot".
+     */
+    virtual std::uint64_t isaSegmentBytes() const = 0;
+
+    /** One segment became OS-allocated. @p when is the retire cycle. */
+    virtual void isaAlloc(Addr seg_base, Cycle when) = 0;
+
+    /** One segment became OS-free. */
+    virtual void isaFree(Addr seg_base, Cycle when) = 0;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_OS_ISA_HOOKS_HH

@@ -1,0 +1,99 @@
+#include "sim/experiment.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace chameleon
+{
+
+BenchOptions
+parseBenchArgs(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto next_val = [&]() -> std::uint64_t {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", flag.c_str());
+            return std::strtoull(argv[++i], nullptr, 0);
+        };
+        if (flag == "--scale") {
+            opts.scale = next_val();
+        } else if (flag == "--instr") {
+            opts.instrPerCore = next_val();
+        } else if (flag == "--refs") {
+            opts.minRefsPerCore = next_val();
+        } else if (flag == "--seed") {
+            opts.seed = next_val();
+        } else if (flag == "--warmup-frac") {
+            if (i + 1 >= argc)
+                fatal("missing value for --warmup-frac");
+            opts.warmupFrac = std::strtod(argv[++i], nullptr);
+        } else if (flag == "--stacked-gib") {
+            opts.stackedFullGiB = next_val();
+        } else if (flag == "--offchip-gib") {
+            opts.offchipFullGiB = next_val();
+        } else if (flag == "--quiet") {
+            setQuiet(true);
+        } else if (flag == "--help") {
+            std::fprintf(
+                stderr,
+                "flags: --scale N --instr N --refs N --seed N "
+                "--stacked-gib N --offchip-gib N --quiet\n");
+            std::exit(0);
+        } else if (flag.rfind("--benchmark", 0) == 0) {
+            // Tolerate google-benchmark runner flags.
+            continue;
+        } else {
+            fatal("unknown flag %s (try --help)", flag.c_str());
+        }
+    }
+    if (opts.scale == 0)
+        fatal("--scale must be positive");
+    return opts;
+}
+
+SystemConfig
+makeSystemConfig(Design design, const BenchOptions &opts)
+{
+    SystemConfig cfg;
+    cfg.design = design;
+    cfg.scale = opts.scale;
+    cfg.stackedFullBytes = opts.stackedFullGiB * 1_GiB;
+    cfg.offchipFullBytes = opts.offchipFullGiB * 1_GiB;
+    cfg.seed = opts.seed;
+    return cfg;
+}
+
+std::uint64_t
+effectiveInstructions(const AppProfile &profile, const BenchOptions &opts)
+{
+    const auto by_refs = static_cast<std::uint64_t>(
+        static_cast<double>(opts.minRefsPerCore) * 1000.0 /
+        profile.llcMpki);
+    return std::max(opts.instrPerCore, by_refs);
+}
+
+RunResult
+runRateWorkload(Design design, const AppProfile &profile,
+                const BenchOptions &opts)
+{
+    return runRateWorkload(makeSystemConfig(design, opts), profile,
+                           opts);
+}
+
+RunResult
+runRateWorkload(const SystemConfig &config, const AppProfile &profile,
+                const BenchOptions &opts)
+{
+    System sys(config);
+    sys.loadRateWorkload(profile);
+    const std::uint64_t instr = effectiveInstructions(profile, opts);
+    const auto warmup = static_cast<std::uint64_t>(
+        static_cast<double>(instr) * opts.warmupFrac);
+    return sys.run(instr, warmup);
+}
+
+} // namespace chameleon

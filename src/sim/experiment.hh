@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses: a tiny CLI parser for
+ * scale/instruction knobs, configuration factories for the paper's
+ * machine variants, and one-call rate-mode runners.
+ *
+ * Every figure bench accepts:
+ *   --scale N   capacity divisor (default 64; 1 = paper scale)
+ *   --instr N   instructions per core (default 1,000,000)
+ *   --refs N    minimum memory references per core (default 40,000;
+ *               raises the instruction count for low-MPKI apps)
+ *   --seed N    RNG seed (default 1)
+ *   --quiet     suppress warn/inform chatter
+ */
+
+#ifndef CHAMELEON_SIM_EXPERIMENT_HH
+#define CHAMELEON_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/system.hh"
+#include "workloads/profile.hh"
+
+namespace chameleon
+{
+
+/** Parsed bench command-line options. */
+struct BenchOptions
+{
+    std::uint64_t scale = 64;
+    std::uint64_t instrPerCore = 1'000'000;
+    std::uint64_t minRefsPerCore = 40'000;
+    /** Warmup fraction of the measured instruction count. */
+    double warmupFrac = 1.0;
+    std::uint64_t seed = 1;
+    /** Capacity split, full-scale GiB (Table I default 4 + 20). */
+    std::uint64_t stackedFullGiB = 4;
+    std::uint64_t offchipFullGiB = 20;
+};
+
+/** Parse the common bench flags; unknown flags are fatal. */
+BenchOptions parseBenchArgs(int argc, char **argv);
+
+/** Build a SystemConfig for @p design under @p opts. */
+SystemConfig makeSystemConfig(Design design, const BenchOptions &opts);
+
+/**
+ * Instructions per core for @p profile: the configured count, raised
+ * until the expected reference count reaches minRefsPerCore.
+ */
+std::uint64_t effectiveInstructions(const AppProfile &profile,
+                                    const BenchOptions &opts);
+
+/** Build a system, load numCores copies of @p profile, run it. */
+RunResult runRateWorkload(Design design, const AppProfile &profile,
+                          const BenchOptions &opts);
+
+/** As above but with explicit config tweaks applied by the caller. */
+RunResult runRateWorkload(const SystemConfig &config,
+                          const AppProfile &profile,
+                          const BenchOptions &opts);
+
+} // namespace chameleon
+
+#endif // CHAMELEON_SIM_EXPERIMENT_HH

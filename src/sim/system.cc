@@ -1,0 +1,292 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/stats.hh"
+#include "core/chameleon.hh"
+#include "core/chameleon_opt.hh"
+#include "core/polymorphic.hh"
+#include "memorg/alloy_cache.hh"
+#include "memorg/flat_memory.hh"
+#include "memorg/pom.hh"
+
+namespace chameleon
+{
+
+const char *
+designLabel(Design d)
+{
+    switch (d) {
+      case Design::FlatDdr:
+        return "flat-ddr";
+      case Design::NumaFlat:
+        return "numa-flat";
+      case Design::Alloy:
+        return "alloy-cache";
+      case Design::Pom:
+        return "pom";
+      case Design::Chameleon:
+        return "chameleon";
+      case Design::ChameleonOpt:
+        return "chameleon-opt";
+      case Design::Polymorphic:
+        return "polymorphic";
+    }
+    return "?";
+}
+
+System::System(const SystemConfig &config) : cfg(config)
+{
+    if (cfg.design == Design::FlatDdr)
+        cfg.hasStacked = false;
+
+    if (cfg.hasStacked) {
+        DramTimings st = stackedDramConfig(cfg.scale);
+        st.capacity = cfg.stackedBytes();
+        stackedDev = std::make_unique<DramDevice>(st);
+    }
+    offchipDev = std::make_unique<DramDevice>(
+        offchipDramConfig(cfg.scale, cfg.offchipFullBytes));
+
+    buildOrganization();
+    org->enableFunctional(cfg.functionalData);
+
+    // The OS address space must equal what the organization exposes:
+    // cache designs hide the stacked capacity, PoM designs expose it.
+    const bool stacked_visible =
+        org->osVisibleBytes() > offchipDev->capacity();
+    FrameAllocatorConfig fac;
+    fac.stackedBytes = stacked_visible ? cfg.stackedBytes() : 0;
+    fac.offchipBytes = offchipDev->capacity();
+    fac.seed = cfg.seed;
+    if (cfg.osPolicy) {
+        fac.policy = *cfg.osPolicy;
+    } else {
+        // First-touch for the OS-managed NUMA baselines; a spread
+        // free list for hardware-remapped designs.
+        fac.policy = (cfg.design == Design::NumaFlat)
+                         ? AllocPolicy::FastFirst
+                         : AllocPolicy::Uniform;
+    }
+    if (cfg.design == Design::NumaFlat) {
+        // Linux keeps free watermarks on each node; this is the
+        // headroom AutoNUMA migrations consume in Fig 2c's ramp.
+        fac.stackedWatermarkBytes = cfg.stackedBytes() / 8;
+    }
+
+    OsConfig osc;
+    osc.frames = fac;
+    osc.majorFaultLatency = cfg.majorFaultLatency;
+    miniOs = std::make_unique<MiniOs>(osc, org.get());
+
+    if (cfg.runAutoNuma) {
+        if (cfg.design != Design::NumaFlat)
+            fatal("System: AutoNUMA requires the numa-flat design");
+        autoNuma = std::make_unique<AutoNuma>(*miniOs, cfg.autonuma);
+    }
+}
+
+System::~System() = default;
+
+void
+System::buildOrganization()
+{
+    DramDevice *s = stackedDev.get();
+    DramDevice *o = offchipDev.get();
+    switch (cfg.design) {
+      case Design::FlatDdr:
+        org = std::make_unique<FlatMemory>(nullptr, o);
+        return;
+      case Design::NumaFlat:
+        org = std::make_unique<FlatMemory>(s, o);
+        return;
+      case Design::Alloy:
+        org = std::make_unique<AlloyCache>(s, o);
+        return;
+      case Design::Pom:
+        org = std::make_unique<PomMemory>(s, o, cfg.pom);
+        return;
+      case Design::Chameleon:
+        org = std::make_unique<ChameleonMemory>(s, o, cfg.pom);
+        return;
+      case Design::ChameleonOpt:
+        org = std::make_unique<ChameleonOptMemory>(s, o, cfg.pom);
+        return;
+      case Design::Polymorphic:
+        org = std::make_unique<PolymorphicMemory>(s, o, cfg.pom);
+        return;
+    }
+    fatal("System: unknown design");
+}
+
+void
+System::loadRateWorkload(const AppProfile &profile)
+{
+    std::vector<AppProfile> per_core(cfg.numCores, profile);
+    for (auto &p : per_core)
+        p.footprintBytes = profile.copyFootprint(cfg.numCores);
+    loadPerCoreWorkloads(per_core);
+}
+
+void
+System::loadTraceWorkload(const std::vector<std::string> &paths)
+{
+    if (paths.empty())
+        fatal("System: no trace paths given");
+    cores.assign(cfg.numCores, CoreModel(cfg.core));
+    streams.clear();
+    procs.clear();
+    for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+        const std::string &path = paths[c % paths.size()];
+        auto stream = std::make_unique<TraceStream>(path);
+        const ProcId pid = miniOs->createProcess(
+            "trace#" + std::to_string(c), stream->footprint());
+        miniOs->preAllocate(pid);
+        procs.push_back(pid);
+        streams.push_back(std::move(stream));
+    }
+}
+
+void
+System::loadPerCoreWorkloads(const std::vector<AppProfile> &profiles)
+{
+    if (profiles.size() != cfg.numCores)
+        fatal("System: need one workload per core (%u)", cfg.numCores);
+    cores.assign(cfg.numCores, CoreModel(cfg.core));
+    streams.clear();
+    procs.clear();
+    for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+        const AppProfile &p = profiles[c];
+        const ProcId pid =
+            miniOs->createProcess(p.name + "#" + std::to_string(c),
+                                  p.footprintBytes);
+        miniOs->preAllocate(pid);
+        procs.push_back(pid);
+        streams.push_back(std::make_unique<SyntheticStream>(
+            p, p.footprintBytes, cfg.seed * 1000003 + c));
+    }
+}
+
+void
+System::runPhase(std::uint64_t retire_target)
+{
+    const std::uint32_t n = cfg.numCores;
+    std::vector<bool> done(n, false);
+    std::uint32_t active = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (cores[i].retired() >= retire_target)
+            done[i] = true;
+        else
+            ++active;
+    }
+
+    while (active > 0) {
+        // Advance the core with the earliest local clock so memory
+        // requests arrive in (approximately) global time order.
+        std::uint32_t c = 0;
+        Cycle best = ~static_cast<Cycle>(0);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (!done[i] && cores[i].now() < best) {
+                best = cores[i].now();
+                c = i;
+            }
+        }
+
+        CoreModel &core = cores[c];
+        const MemOp op = streams[c]->next();
+        if (op.gap > 1)
+            core.retireCompute(op.gap - 1);
+
+        const Translation tr =
+            miniOs->translate(procs[c], op.vaddr, op.type, core.now());
+        if (tr.stall)
+            core.blockFor(tr.stall);
+
+        if (autoNuma)
+            autoNuma->recordAccess(procs[c], op.vaddr,
+                                   miniOs->allocator().nodeOf(tr.phys),
+                                   core.now());
+
+        if (op.type == AccessType::Read) {
+            const Cycle issue = core.issueRead();
+            const MemAccessResult r =
+                org->access(tr.phys, AccessType::Read, issue);
+            core.completeRead(r.done);
+        } else {
+            org->access(tr.phys, AccessType::Write, core.now());
+            core.retireWrite();
+        }
+
+        if (core.retired() >= retire_target) {
+            core.drain();
+            done[c] = true;
+            --active;
+        }
+    }
+}
+
+RunResult
+System::run(std::uint64_t instr_per_core, std::uint64_t warmup_per_core)
+{
+    if (streams.empty())
+        fatal("System: no workload loaded");
+
+    if (warmup_per_core > 0)
+        runPhase(warmup_per_core);
+
+    // Snapshot post-warmup state so the report covers only the
+    // measured region.
+    org->resetStats();
+    const std::uint64_t faults0 = miniOs->stats().majorFaults;
+    const std::uint64_t minor0 = miniOs->stats().minorFaults;
+    struct Snap
+    {
+        Cycle clock;
+        std::uint64_t retired;
+        Cycle faultStall;
+    };
+    std::vector<Snap> snaps;
+    for (auto &core : cores)
+        snaps.push_back({core.now(), core.retired(),
+                         core.faultStall()});
+
+    runPhase(warmup_per_core + instr_per_core);
+
+    RunResult res;
+    std::vector<double> ipcs;
+    std::uint64_t total_instr = 0;
+    double util_sum = 0.0;
+    for (std::uint32_t i = 0; i < cores.size(); ++i) {
+        const Cycle cycles = cores[i].now() - snaps[i].clock;
+        const std::uint64_t instr =
+            cores[i].retired() - snaps[i].retired;
+        const Cycle stall = cores[i].faultStall() - snaps[i].faultStall;
+        ipcs.push_back(cycles ? static_cast<double>(instr) /
+                                    static_cast<double>(cycles)
+                              : 0.0);
+        total_instr += instr;
+        res.makespan = std::max(res.makespan, cycles);
+        util_sum += cycles ? 1.0 - static_cast<double>(stall) /
+                                       static_cast<double>(cycles)
+                           : 1.0;
+    }
+    res.ipcPerCore = ipcs;
+    res.ipcGeoMean = geoMean(ipcs);
+    res.cpuUtilization = util_sum / static_cast<double>(cores.size());
+    res.instructions = total_instr;
+
+    const MemOrgStats &ms = org->stats();
+    res.stackedHitRate = ms.stackedHitRate();
+    res.swaps = ms.swaps;
+    res.fills = ms.fills;
+    res.amal = ms.avgMemLatency();
+    res.memRefs = ms.reads + ms.writes;
+    res.majorFaults = miniOs->stats().majorFaults - faults0;
+    res.minorFaults = miniOs->stats().minorFaults - minor0;
+    if (auto *cham = dynamic_cast<ChameleonMemory *>(org.get()))
+        res.cacheModeFraction = cham->cacheModeFraction();
+    return res;
+}
+
+} // namespace chameleon

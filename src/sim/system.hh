@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Top-level simulated machine: DRAM devices + memory organization +
+ * mini-OS + cores + workload streams, wired exactly like Table I and
+ * driven as the paper's 12-copy rate-mode workloads.
+ */
+
+#ifndef CHAMELEON_SIM_SYSTEM_HH
+#define CHAMELEON_SIM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/core_model.hh"
+#include "dram/dram_device.hh"
+#include "memorg/mem_organization.hh"
+#include "memorg/pom.hh"
+#include "os/autonuma.hh"
+#include "os/mini_os.hh"
+#include "workloads/profile.hh"
+#include "workloads/stream_gen.hh"
+#include "workloads/trace_stream.hh"
+
+namespace chameleon
+{
+
+/** Memory organization selector. */
+enum class Design : std::uint8_t
+{
+    FlatDdr,       ///< off-chip only (Fig 18 baselines)
+    NumaFlat,      ///< stacked+off-chip OS-visible, no HW remapping
+    Alloy,         ///< latency-optimized DRAM cache
+    Pom,           ///< Sim et al. [25] baseline
+    Chameleon,     ///< basic co-design (§V-B)
+    ChameleonOpt,  ///< optimized co-design (§V-C)
+    Polymorphic,   ///< Chung patent [51]
+};
+
+/** Printable design label. */
+const char *designLabel(Design d);
+
+/** Full machine configuration. */
+struct SystemConfig
+{
+    Design design = Design::ChameleonOpt;
+
+    /**
+     * Capacity divisor: all capacities and footprints shrink by this
+     * factor so laptop-scale runs preserve every footprint:capacity
+     * ratio of the paper (see DESIGN.md).
+     */
+    std::uint64_t scale = 64;
+
+    /** Full-scale capacities (Table I: 4GB + 20GB). */
+    std::uint64_t stackedFullBytes = 4_GiB;
+    std::uint64_t offchipFullBytes = 20_GiB;
+    /** Drop the stacked device entirely (FlatDdr baselines). */
+    bool hasStacked = true;
+
+    std::uint32_t numCores = 12;
+    CoreConfig core;
+    PomConfig pom;
+
+    /** OS frame placement; defaulted per design when std::nullopt. */
+    std::optional<AllocPolicy> osPolicy;
+
+    /** Run the AutoNUMA daemon (NumaFlat only). */
+    bool runAutoNuma = false;
+    AutoNumaConfig autonuma;
+
+    Cycle majorFaultLatency = 100'000;
+    std::uint64_t seed = 1;
+    /** Enable the functional data layer (tests). */
+    bool functionalData = false;
+
+    std::uint64_t stackedBytes() const
+    {
+        return hasStacked ? stackedFullBytes / scale : 0;
+    }
+
+    std::uint64_t offchipBytes() const
+    {
+        return offchipFullBytes / scale;
+    }
+};
+
+/** Aggregated outcome of one run. */
+struct RunResult
+{
+    std::vector<double> ipcPerCore;
+    double ipcGeoMean = 0.0;
+    double stackedHitRate = 0.0;
+    std::uint64_t swaps = 0;
+    std::uint64_t fills = 0;
+    /** Average memory access latency over reads, CPU cycles. */
+    double amal = 0.0;
+    /** Fraction of groups in cache mode at run end (-1 if N/A). */
+    double cacheModeFraction = -1.0;
+    std::uint64_t majorFaults = 0;
+    std::uint64_t minorFaults = 0;
+    /** Mean over cores of (1 - faultStall / cycles). */
+    double cpuUtilization = 0.0;
+    std::uint64_t instructions = 0;
+    std::uint64_t memRefs = 0;
+    /** Longest core-local completion time (execution time proxy). */
+    Cycle makespan = 0;
+};
+
+/** The simulated machine. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &config);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /**
+     * Load the paper's rate-mode workload: numCores copies of
+     * @p profile, each owning footprint/numCores bytes, all
+     * pre-allocated up front (§VI-B).
+     */
+    void loadRateWorkload(const AppProfile &profile);
+
+    /** Load one (profile, footprint) pair per core. */
+    void loadPerCoreWorkloads(const std::vector<AppProfile> &profiles);
+
+    /**
+     * Load recorded reference traces, one file per core (a single
+     * path is replicated to every core with independent processes).
+     * See workloads/trace_stream.hh for the format.
+     */
+    void loadTraceWorkload(const std::vector<std::string> &paths);
+
+    /**
+     * Run every core for @p instr_per_core measured instructions,
+     * preceded by @p warmup_per_core instructions that warm caches,
+     * remap tables and DRAM state but are excluded from the reported
+     * statistics (the paper fast-forwards and warms before measuring,
+     * §VI-A).
+     */
+    RunResult run(std::uint64_t instr_per_core,
+                  std::uint64_t warmup_per_core = 0);
+
+    MiniOs &os() { return *miniOs; }
+    MemOrganization &organization() { return *org; }
+    DramDevice *stackedDevice() { return stackedDev.get(); }
+    DramDevice &offchipDevice() { return *offchipDev; }
+    AutoNuma *autonumaDaemon() { return autoNuma.get(); }
+    const SystemConfig &config() const { return cfg; }
+
+  private:
+    void buildOrganization();
+    void runPhase(std::uint64_t retire_target);
+
+    SystemConfig cfg;
+    std::unique_ptr<DramDevice> stackedDev;
+    std::unique_ptr<DramDevice> offchipDev;
+    std::unique_ptr<MemOrganization> org;
+    std::unique_ptr<MiniOs> miniOs;
+    std::unique_ptr<AutoNuma> autoNuma;
+
+    std::vector<CoreModel> cores;
+    std::vector<std::unique_ptr<AddressStream>> streams;
+    std::vector<ProcId> procs;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_SIM_SYSTEM_HH

@@ -1,0 +1,103 @@
+#include "workloads/profile.hh"
+
+#include "common/log.hh"
+
+namespace chameleon
+{
+
+namespace
+{
+
+/** Table II footprints are quoted in GB; convert via GiB. */
+std::uint64_t
+gb(double v)
+{
+    return static_cast<std::uint64_t>(v * static_cast<double>(1_GiB));
+}
+
+AppProfile
+make(const char *name, double mpki, double mf_gb, double hot_frac,
+     double hot_prob, double zipf, double seq_run, double write_frac,
+     std::uint64_t phase_instr = 0, double phase_shift = 0.125)
+{
+    AppProfile p;
+    p.name = name;
+    p.llcMpki = mpki;
+    p.footprintBytes = gb(mf_gb);
+    p.hotFraction = hot_frac;
+    p.hotProbability = hot_prob;
+    p.zipfSkew = zipf;
+    p.seqRunBlocks = seq_run;
+    p.writeFraction = write_frac;
+    p.phaseInstructions = phase_instr;
+    p.phaseShiftFraction = phase_shift;
+    return p;
+}
+
+} // namespace
+
+std::vector<AppProfile>
+tableTwoSuite(std::uint64_t scale)
+{
+    // MPKI and footprints straight from Table II; locality knobs tuned
+    // per application class (see file comment in profile.hh).
+    std::vector<AppProfile> suite = {
+        // SPEC2006
+        make("bwaves", 12.91, 21.86, 0.05, 0.90, 0.7, 16.0, 0.25,
+             500'000, 0.08),
+        make("lbm", 29.55, 19.17, 0.04, 0.92, 0.8, 32.0, 0.30,
+             400'000, 0.08),
+        make("cactusADM", 2.03, 20.12, 0.05, 0.95, 0.7, 8.0, 0.25,
+             800'000, 0.05),
+        make("leslie3d", 12.18, 21.65, 0.05, 0.90, 0.7, 16.0, 0.30,
+             500'000, 0.08),
+        make("mcf", 59.80, 19.65, 0.08, 0.80, 0.6, 1.5, 0.15,
+             300'000, 0.15),
+        make("GemsFDTD", 20.78, 22.56, 0.06, 0.88, 0.6, 12.0, 0.30,
+             500'000, 0.10),
+        // NAS
+        make("SP", 0.87, 21.72, 0.04, 0.95, 0.7, 8.0, 0.25,
+             1'000'000, 0.05),
+        // STREAM
+        make("stream", 35.77, 21.66, 0.04, 0.88, 0.3, 64.0, 0.35,
+             400'000, 0.10),
+        // Mantevo
+        make("cloverleaf", 30.33, 23.01, 0.06, 0.85, 0.5, 24.0, 0.30,
+             2'000'000, 1.0),
+        make("comd", 0.71, 23.18, 0.05, 0.93, 0.6, 4.0, 0.20,
+             1'000'000, 0.05),
+        make("miniAMR", 1.44, 22.40, 0.05, 0.90, 0.6, 8.0, 0.25,
+             800'000, 0.08),
+        make("hpccg", 7.81, 22.15, 0.05, 0.88, 0.5, 16.0, 0.20,
+             500'000, 0.08),
+        make("miniFE", 0.48, 22.55, 0.05, 0.94, 0.6, 8.0, 0.20,
+             1'000'000, 0.05),
+        make("miniGhost", 0.19, 20.68, 0.04, 0.95, 0.7, 8.0, 0.20,
+             1'000'000, 0.05),
+    };
+    if (scale > 1)
+        for (auto &p : suite)
+            p.footprintBytes /= scale;
+    return suite;
+}
+
+const AppProfile &
+findProfile(const std::vector<AppProfile> &suite, const std::string &name)
+{
+    for (const auto &p : suite)
+        if (p.name == name)
+            return p;
+    fatal("findProfile: unknown application '%s'", name.c_str());
+}
+
+std::vector<std::string>
+highFootprintNames()
+{
+    // The motivation experiments (Figs 2a/2b/4/5) use the workloads
+    // whose footprints exceed the 20GB off-chip capacity on their own.
+    return {"bwaves", "leslie3d", "GemsFDTD", "lbm", "mcf", "hpccg",
+            "SP", "stream", "cloverleaf", "comd", "miniFE",
+            "cactusADM"};
+}
+
+} // namespace chameleon

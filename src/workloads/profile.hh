@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Application profiles for the paper's 14 workloads (Table II).
+ *
+ * The paper characterizes each application by its LLC MPKI and memory
+ * footprint; we add locality knobs (hot-set size/skew, sequential run
+ * length, write fraction, phase behaviour) tuned so the synthetic
+ * streams reproduce the relative behaviour reported in the evaluation:
+ * streaming codes (stream, lbm, cloverleaf) have long sequential runs,
+ * pointer-chasers (mcf) have poor spatial and temporal locality, and
+ * low-MPKI codes (miniFE, miniGhost, comd, SP) barely touch memory.
+ */
+
+#ifndef CHAMELEON_WORKLOADS_PROFILE_HH
+#define CHAMELEON_WORKLOADS_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace chameleon
+{
+
+/** Tuning profile for one application's synthetic address stream. */
+struct AppProfile
+{
+    std::string name;
+
+    /** Target LLC misses per kilo-instruction (Table II). */
+    double llcMpki = 10.0;
+
+    /**
+     * Total memory footprint of the 12-copy rate-mode workload in
+     * bytes at full (paper) scale; each copy owns 1/12 of it.
+     */
+    std::uint64_t footprintBytes = 20_GiB;
+
+    /** Fraction of the footprint that forms the hot working set. */
+    double hotFraction = 0.15;
+
+    /** Probability that a new access run targets the hot set. */
+    double hotProbability = 0.85;
+
+    /** Zipf skew applied when picking a position inside a region. */
+    double zipfSkew = 0.6;
+
+    /** Mean sequential run length, in 64B blocks. */
+    double seqRunBlocks = 8.0;
+
+    /** Fraction of memory references that are writes. */
+    double writeFraction = 0.3;
+
+    /**
+     * Instructions per program phase; on each phase boundary the hot
+     * set rotates through the footprint (0 = stationary). Real
+     * memory-bound applications drift: this is what lets caches
+     * "adapt rapidly" (§I) while threshold-gated PoM swaps lag.
+     */
+    std::uint64_t phaseInstructions = 0;
+
+    /**
+     * Fraction of the hot set replaced at each phase boundary:
+     * small values model slow drift, 1.0 a wholesale phase change
+     * (cloverleaf's Fig 2c behaviour).
+     */
+    double phaseShiftFraction = 0.125;
+
+    /** Per-copy footprint for an @p n_copies rate-mode run. */
+    std::uint64_t
+    copyFootprint(std::uint32_t n_copies = 12) const
+    {
+        return footprintBytes / n_copies;
+    }
+};
+
+/**
+ * The Table II suite, footprints divided by @p scale (capacities must
+ * be scaled by the same factor to preserve footprint:capacity ratios).
+ */
+std::vector<AppProfile> tableTwoSuite(std::uint64_t scale = 1);
+
+/** Find a profile by name (fatal if absent). */
+const AppProfile &findProfile(const std::vector<AppProfile> &suite,
+                              const std::string &name);
+
+/** Names of the high-footprint subset used in Figs 2a/2b/4/5. */
+std::vector<std::string> highFootprintNames();
+
+} // namespace chameleon
+
+#endif // CHAMELEON_WORKLOADS_PROFILE_HH

@@ -1,0 +1,88 @@
+#include "workloads/stream_gen.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace chameleon
+{
+
+SyntheticStream::SyntheticStream(const AppProfile &profile,
+                                 std::uint64_t footprint_bytes,
+                                 std::uint64_t seed)
+    : prof(profile), rng(seed)
+{
+    blocks = std::max<std::uint64_t>(footprint_bytes / 64, 64);
+    hotBlocks = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(prof.hotFraction *
+                                   static_cast<double>(blocks)), 1);
+    if (prof.llcMpki <= 0.0)
+        fatal("SyntheticStream(%s): MPKI must be positive",
+              prof.name.c_str());
+    meanGap = std::max(1.0, 1000.0 / prof.llcMpki);
+}
+
+void
+SyntheticStream::maybeRotatePhase()
+{
+    if (prof.phaseInstructions == 0)
+        return;
+    const std::uint64_t wanted = instrRetired / prof.phaseInstructions;
+    while (phaseIdx < wanted) {
+        ++phaseIdx;
+        // Advance the hot window by the configured turnover so part
+        // of the working set goes cold and fresh blocks heat up.
+        const auto step = static_cast<std::uint64_t>(
+            prof.phaseShiftFraction * static_cast<double>(hotBlocks));
+        hotBase = (hotBase + std::max<std::uint64_t>(step, 1)) % blocks;
+    }
+}
+
+void
+SyntheticStream::startNewRun()
+{
+    // The emitted stream is post-LLC: an immediately repeated block
+    // would have been absorbed by the SRAM hierarchy, so redraw when
+    // the new run starts exactly where the last one did.
+    std::uint64_t base = lastRunBase;
+    for (int attempt = 0; attempt < 4 && base == lastRunBase;
+         ++attempt) {
+        if (rng.chance(prof.hotProbability)) {
+            const std::uint64_t r = rng.zipf(hotBlocks, prof.zipfSkew);
+            base = (hotBase + r) % blocks;
+        } else {
+            base = rng.below(blocks);
+        }
+    }
+    if (base == lastRunBase)
+        base = (base + 1) % blocks;
+    lastRunBase = base;
+    pos = base;
+    runRemaining = std::max<std::uint64_t>(
+        rng.geometric(prof.seqRunBlocks), 1);
+}
+
+MemOp
+SyntheticStream::next()
+{
+    if (runRemaining == 0)
+        startNewRun();
+
+    MemOp op;
+    op.vaddr = (pos % blocks) * 64;
+    op.type = rng.chance(prof.writeFraction) ? AccessType::Write
+                                             : AccessType::Read;
+    const std::uint64_t gap = std::max<std::uint64_t>(
+        rng.geometric(meanGap), 1);
+    op.gap = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(gap, 1u << 20));
+
+    pos = (pos + 1) % blocks;
+    --runRemaining;
+    instrRetired += op.gap;
+    ++refs;
+    maybeRotatePhase();
+    return op;
+}
+
+} // namespace chameleon

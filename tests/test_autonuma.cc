@@ -1,0 +1,140 @@
+/**
+ * @file
+ * AutoNUMA daemon tests: epoch bookkeeping, threshold-driven
+ * migration aggressiveness, and the -ENOMEM saturation behaviour that
+ * causes Fig 2c's hit-rate decay.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/autonuma.hh"
+
+using namespace chameleon;
+
+namespace
+{
+
+OsConfig
+numaOs(std::uint64_t stacked = 2_MiB, std::uint64_t offchip = 10_MiB)
+{
+    OsConfig c;
+    c.frames.stackedBytes = stacked;
+    c.frames.offchipBytes = offchip;
+    c.frames.policy = AllocPolicy::SlowFirst; // pages start "remote"
+    c.frames.seed = 3;
+    return c;
+}
+
+AutoNumaConfig
+fastEpochs(double threshold = 0.9)
+{
+    AutoNumaConfig c;
+    c.epochCycles = 10'000;
+    c.threshold = threshold;
+    return c;
+}
+
+} // namespace
+
+TEST(AutoNuma, EpochBoundariesAdvance)
+{
+    MiniOs os(numaOs());
+    AutoNuma an(os, fastEpochs());
+    const ProcId p = os.createProcess("a", 1_MiB);
+    os.preAllocate(p);
+    for (Cycle t = 0; t < 55'000; t += 100)
+        an.recordAccess(p, 0, MemNode::OffChip, t);
+    EXPECT_GE(an.epochs().size(), 5u);
+    EXPECT_LE(an.epochs().size(), 6u);
+}
+
+TEST(AutoNuma, MigratesHotRemotePages)
+{
+    MiniOs os(numaOs());
+    AutoNuma an(os, fastEpochs());
+    const ProcId p = os.createProcess("a", 1_MiB);
+    os.preAllocate(p);
+    ASSERT_EQ(static_cast<int>(*os.pageNode(p, 0)),
+              static_cast<int>(MemNode::OffChip));
+    // Hammer page 0 remotely across one epoch.
+    for (Cycle t = 0; t < 12'000; t += 10)
+        an.recordAccess(p, 0, MemNode::OffChip, t);
+    EXPECT_GT(an.totalMigrations(), 0u);
+    EXPECT_EQ(static_cast<int>(*os.pageNode(p, 0)),
+              static_cast<int>(MemNode::Stacked));
+}
+
+TEST(AutoNuma, RemoteRatioComputed)
+{
+    MiniOs os(numaOs());
+    AutoNuma an(os, fastEpochs());
+    const ProcId p = os.createProcess("a", 1_MiB);
+    os.preAllocate(p);
+    for (Cycle t = 0; t < 10'000; t += 10) {
+        an.recordAccess(p, 0, MemNode::OffChip, t);
+        an.recordAccess(p, pageBytes, MemNode::Stacked, t);
+        an.recordAccess(p, 2 * pageBytes, MemNode::Stacked, t);
+    }
+    // Force epoch closure.
+    an.recordAccess(p, 0, MemNode::Stacked, 20'000);
+    ASSERT_FALSE(an.epochs().empty());
+    EXPECT_NEAR(an.epochs().front().remoteRatio(), 1.0 / 3.0, 0.02);
+}
+
+TEST(AutoNuma, HigherThresholdMigratesMoreEagerly)
+{
+    auto run = [](double threshold) {
+        MiniOs os(numaOs());
+        AutoNuma an(os, fastEpochs(threshold));
+        const ProcId p = os.createProcess("a", 4_MiB);
+        os.preAllocate(p);
+        Rng rng(9);
+        for (Cycle t = 0; t < 50'000; t += 10) {
+            const Addr va = rng.below(4_MiB / pageBytes) * pageBytes;
+            const auto node = os.pageNode(p, va / pageBytes);
+            an.recordAccess(p, va, node.value_or(MemNode::OffChip), t);
+        }
+        return an.totalMigrations();
+    };
+    const std::uint64_t at70 = run(0.7);
+    const std::uint64_t at90 = run(0.9);
+    EXPECT_GT(at90, at70);
+}
+
+TEST(AutoNuma, StopsAtEnomem)
+{
+    // Tiny stacked zone: migrations must stop once it fills.
+    MiniOs os(numaOs(2_MiB, 20_MiB));
+    AutoNuma an(os, fastEpochs());
+    const ProcId p = os.createProcess("a", 16_MiB);
+    os.preAllocate(p);
+    Rng rng(5);
+    for (Cycle t = 0; t < 400'000; t += 10) {
+        const Addr va = rng.below(16_MiB / pageBytes) * pageBytes;
+        const auto node = os.pageNode(p, va / pageBytes);
+        an.recordAccess(p, va, node.value_or(MemNode::OffChip), t);
+    }
+    // The stacked zone only holds 512 pages: migrations are bounded
+    // and failures were observed.
+    EXPECT_LE(an.totalMigrations(), 2_MiB / pageBytes);
+    std::uint64_t failures = 0;
+    for (const auto &e : an.epochs())
+        failures += e.failedMigrations;
+    EXPECT_GT(failures, 0u);
+}
+
+TEST(AutoNuma, MigrationCapRespected)
+{
+    MiniOs os(numaOs());
+    AutoNumaConfig cfg = fastEpochs();
+    cfg.maxMigrationsPerEpoch = 3;
+    AutoNuma an(os, cfg);
+    const ProcId p = os.createProcess("a", 1_MiB);
+    os.preAllocate(p);
+    for (Addr pg = 0; pg < 64; ++pg)
+        for (int i = 0; i < 5; ++i)
+            an.recordAccess(p, pg * pageBytes, MemNode::OffChip, 100);
+    an.recordAccess(p, 0, MemNode::Stacked, 20'000);
+    for (const auto &e : an.epochs())
+        EXPECT_LE(e.migrated, 3u);
+}

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * SRAM cache and hierarchy tests: replacement behaviour, write-back
+ * semantics, invalidation, and multi-level writeback propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+#include "common/rng.hh"
+
+using namespace chameleon;
+
+namespace
+{
+
+CacheConfig
+smallCache(ReplPolicy policy = ReplPolicy::Lru)
+{
+    CacheConfig c;
+    c.name = "small";
+    c.sizeBytes = 4_KiB; // 64 lines
+    c.associativity = 4; // 16 sets
+    c.blockBytes = 64;
+    c.policy = policy;
+    return c;
+}
+
+} // namespace
+
+TEST(Cache, HitAfterMiss)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(c.access(0x1000, AccessType::Read).hit);
+    EXPECT_TRUE(c.access(0x1000, AccessType::Read).hit);
+    EXPECT_TRUE(c.access(0x1020, AccessType::Read).hit) <<
+        "same 64B block must hit regardless of offset";
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    Cache c(smallCache());
+    // Fill one set (4 ways): same set index, different tags.
+    const Addr stride = 16 * 64; // sets * block
+    for (Addr i = 0; i < 4; ++i)
+        c.access(i * stride, AccessType::Read);
+    // Touch way 0 to make way 1 the LRU victim.
+    c.access(0, AccessType::Read);
+    c.access(4 * stride, AccessType::Read); // evicts 1*stride
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(1 * stride));
+    EXPECT_TRUE(c.probe(2 * stride));
+}
+
+TEST(Cache, DirtyEvictionProducesWriteback)
+{
+    Cache c(smallCache());
+    const Addr stride = 16 * 64;
+    c.access(0, AccessType::Write); // dirty
+    for (Addr i = 1; i <= 4; ++i) {
+        auto r = c.access(i * stride, AccessType::Read);
+        if (r.writeback) {
+            EXPECT_EQ(r.writebackAddr, 0u);
+            return;
+        }
+    }
+    FAIL() << "dirty line never evicted";
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback)
+{
+    Cache c(smallCache());
+    const Addr stride = 16 * 64;
+    for (Addr i = 0; i <= 4; ++i) {
+        auto r = c.access(i * stride, AccessType::Read);
+        EXPECT_FALSE(r.writeback);
+    }
+}
+
+TEST(Cache, InvalidateReportsDirtiness)
+{
+    Cache c(smallCache());
+    c.access(0x40, AccessType::Write);
+    c.access(0x80, AccessType::Read);
+    EXPECT_TRUE(c.invalidate(0x40));
+    EXPECT_FALSE(c.invalidate(0x80));
+    EXPECT_FALSE(c.invalidate(0xc0)); // absent
+    EXPECT_FALSE(c.probe(0x40));
+}
+
+TEST(Cache, FlushCountsDirtyLines)
+{
+    Cache c(smallCache());
+    c.access(0, AccessType::Write);
+    c.access(64 * 16, AccessType::Write);
+    c.access(64 * 32, AccessType::Read);
+    EXPECT_EQ(c.flush(), 2u);
+    EXPECT_FALSE(c.probe(0));
+}
+
+TEST(Cache, StatsTrackHitsMisses)
+{
+    Cache c(smallCache());
+    c.access(0, AccessType::Read);
+    c.access(0, AccessType::Read);
+    c.access(64, AccessType::Read);
+    EXPECT_EQ(c.stats().hits, 1u);
+    EXPECT_EQ(c.stats().misses, 2u);
+    EXPECT_NEAR(c.stats().missRate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Cache, ProbeDoesNotPerturb)
+{
+    Cache c(smallCache());
+    c.access(0, AccessType::Read);
+    const auto hits = c.stats().hits;
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_EQ(c.stats().hits, hits);
+}
+
+TEST(Cache, BadGeometryIsFatal)
+{
+    CacheConfig c = smallCache();
+    c.blockBytes = 48;
+    EXPECT_DEATH(Cache{c}, "power of two");
+}
+
+TEST(Cache, NonPowerOfTwoSetCountWorks)
+{
+    CacheConfig c;
+    c.sizeBytes = 12_KiB; // 192 lines, 16-way -> 12 sets
+    c.associativity = 16;
+    Cache cache(c);
+    EXPECT_EQ(cache.numSets(), 12u);
+    cache.access(0, AccessType::Read);
+    EXPECT_TRUE(cache.probe(0));
+    EXPECT_FALSE(cache.probe(12 * 64));
+}
+
+/** All replacement policies must retain a small working set. */
+class ReplPolicyTest : public ::testing::TestWithParam<ReplPolicy>
+{
+};
+
+TEST_P(ReplPolicyTest, WorkingSetFitsAndHits)
+{
+    CacheConfig cfg = smallCache(GetParam());
+    Cache c(cfg);
+    // Working set = half the cache.
+    const std::uint64_t lines = cfg.sizeBytes / cfg.blockBytes / 2;
+    for (int pass = 0; pass < 4; ++pass)
+        for (std::uint64_t i = 0; i < lines; ++i)
+            c.access(i * 64, AccessType::Read);
+    const double miss_rate = c.stats().missRate();
+    EXPECT_LT(miss_rate, 0.35);
+}
+
+TEST_P(ReplPolicyTest, ThrashingMisses)
+{
+    CacheConfig cfg = smallCache(GetParam());
+    Cache c(cfg);
+    // Working set = 8x the cache, streaming: mostly misses.
+    const std::uint64_t lines = cfg.sizeBytes / cfg.blockBytes * 8;
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint64_t i = 0; i < lines; ++i)
+            c.access(i * 64, AccessType::Read);
+    EXPECT_GT(c.stats().missRate(), 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ReplPolicyTest,
+                         ::testing::Values(ReplPolicy::Lru,
+                                           ReplPolicy::Random,
+                                           ReplPolicy::Srrip));
+
+TEST(Hierarchy, MissesReachMemoryOnce)
+{
+    HierarchyConfig cfg;
+    cfg.numCores = 2;
+    CacheHierarchy h(cfg);
+    auto first = h.access(0, 0x10000, AccessType::Read);
+    EXPECT_TRUE(first.llcMiss);
+    auto second = h.access(0, 0x10000, AccessType::Read);
+    EXPECT_FALSE(second.llcMiss);
+    EXPECT_LT(second.lookupLatency, first.lookupLatency);
+}
+
+TEST(Hierarchy, SharedL3AcrossCores)
+{
+    HierarchyConfig cfg;
+    cfg.numCores = 2;
+    CacheHierarchy h(cfg);
+    h.access(0, 0x40000, AccessType::Read);
+    // Second core misses its private L1/L2 but hits shared L3.
+    auto r = h.access(1, 0x40000, AccessType::Read);
+    EXPECT_FALSE(r.llcMiss);
+}
+
+TEST(Hierarchy, DirtyDataEventuallyWritesBackToMemory)
+{
+    HierarchyConfig cfg;
+    cfg.numCores = 1;
+    cfg.l1 = {"L1", 1_KiB, 2, 64, 1, ReplPolicy::Lru};
+    cfg.l2 = {"L2", 2_KiB, 2, 64, 4, ReplPolicy::Lru};
+    cfg.l3 = {"L3", 4_KiB, 2, 64, 8, ReplPolicy::Lru};
+    CacheHierarchy h(cfg);
+    h.access(0, 0, AccessType::Write);
+    // Stream enough distinct lines to force the dirty block down and
+    // out of every level.
+    std::vector<Addr> wbs;
+    for (Addr a = 64; a < 64_KiB; a += 64) {
+        auto r = h.access(0, a, AccessType::Read);
+        for (Addr wb : r.memWritebacks)
+            wbs.push_back(wb);
+    }
+    bool found = false;
+    for (Addr wb : wbs)
+        if (wb == 0)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Hierarchy, LlcMissCounter)
+{
+    HierarchyConfig cfg;
+    cfg.numCores = 1;
+    CacheHierarchy h(cfg);
+    for (Addr a = 0; a < 64 * 100; a += 64)
+        h.access(0, a, AccessType::Read);
+    EXPECT_EQ(h.llcMisses(), 100u);
+    h.resetStats();
+    EXPECT_EQ(h.llcMisses(), 0u);
+}
+
+TEST(Hierarchy, TableIGeometry)
+{
+    HierarchyConfig cfg;
+    CacheHierarchy h(cfg);
+    EXPECT_EQ(h.l1Cache(0).config().sizeBytes, 32_KiB);
+    EXPECT_EQ(h.l1Cache(0).config().associativity, 4u);
+    EXPECT_EQ(h.l2Cache(0).config().sizeBytes, 256_KiB);
+    EXPECT_EQ(h.l2Cache(0).config().associativity, 8u);
+    EXPECT_EQ(h.l3Cache().config().sizeBytes, 12_MiB);
+    EXPECT_EQ(h.l3Cache().config().associativity, 16u);
+}

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Chameleon-Opt tests: proactive remapping (Fig 12/13), PoM->cache
+ * liberation on free (Fig 14), mode rule (all-allocated <=> PoM),
+ * cacheability of the remapped stacked-home segment, and invariant
+ * storms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "core/chameleon_opt.hh"
+#include "dram/dram_device.hh"
+
+using namespace chameleon;
+
+namespace
+{
+
+struct OptRig
+{
+    std::unique_ptr<DramDevice> stacked;
+    std::unique_ptr<DramDevice> offchip;
+    std::unique_ptr<ChameleonOptMemory> opt;
+
+    explicit OptRig(PomConfig cfg = PomConfig(),
+                    std::uint64_t s_bytes = 64_KiB,
+                    std::uint64_t o_bytes = 320_KiB)
+    {
+        DramTimings st = stackedDramConfig();
+        st.capacity = s_bytes;
+        DramTimings ot = offchipDramConfig();
+        ot.capacity = o_bytes;
+        stacked = std::make_unique<DramDevice>(st);
+        offchip = std::make_unique<DramDevice>(ot);
+        opt = std::make_unique<ChameleonOptMemory>(stacked.get(),
+                                                   offchip.get(), cfg);
+        opt->enableFunctional(true);
+    }
+
+    Addr
+    home(std::uint64_t g, std::uint32_t slot) const
+    {
+        return opt->space().homeAddr(g, slot);
+    }
+};
+
+} // namespace
+
+TEST(ChameleonOpt, StaysInCacheModeAfterStackedAlloc)
+{
+    OptRig rig;
+    // Fig 12 flow through box 7/8: the stacked-home segment is
+    // allocated but another segment is free, so the group stays in
+    // cache mode and the segment is proactively remapped off-chip.
+    rig.opt->isaAlloc(rig.home(0, 0), 0);
+    EXPECT_EQ(static_cast<int>(rig.opt->groupMode(0)),
+              static_cast<int>(GroupMode::Cache));
+    EXPECT_NE(rig.opt->entry(0).perm[0], 0u)
+        << "allocated stacked segment must be remapped off-chip";
+    EXPECT_GT(rig.opt->stats().isaMoves, 0u);
+    EXPECT_TRUE(rig.opt->checkInvariants());
+}
+
+TEST(ChameleonOpt, SwitchesToPomOnlyWhenFull)
+{
+    OptRig rig;
+    const std::uint32_t slots = rig.opt->space().slotsPerGroup();
+    for (std::uint32_t s = 0; s < slots; ++s) {
+        EXPECT_EQ(static_cast<int>(rig.opt->groupMode(0)),
+                  static_cast<int>(GroupMode::Cache));
+        rig.opt->isaAlloc(rig.home(0, s), 0);
+    }
+    EXPECT_EQ(static_cast<int>(rig.opt->groupMode(0)),
+              static_cast<int>(GroupMode::Pom));
+    EXPECT_TRUE(rig.opt->checkInvariants());
+}
+
+TEST(ChameleonOpt, FreeFromFullGroupLiberatesStackedSlot)
+{
+    OptRig rig;
+    const std::uint32_t slots = rig.opt->space().slotsPerGroup();
+    for (std::uint32_t s = 0; s < slots; ++s)
+        rig.opt->isaAlloc(rig.home(0, s), 0);
+    ASSERT_EQ(static_cast<int>(rig.opt->groupMode(0)),
+              static_cast<int>(GroupMode::Pom));
+    // Fig 14 flow into box 5: freeing an off-chip segment moves the
+    // stacked resident into the freed slot so the stacked physical
+    // slot becomes cacheable.
+    rig.opt->isaFree(rig.home(0, 2), 0);
+    EXPECT_EQ(static_cast<int>(rig.opt->groupMode(0)),
+              static_cast<int>(GroupMode::Cache));
+    const SrtEntry &e = rig.opt->entry(0);
+    // The stacked physical slot (inv[0]) now hosts the freed segment.
+    EXPECT_EQ(e.inv[0], 2u);
+    EXPECT_TRUE(rig.opt->checkInvariants());
+}
+
+TEST(ChameleonOpt, RemappedStackedHomeIsCacheable)
+{
+    OptRig rig;
+    rig.opt->isaAlloc(rig.home(0, 0), 0);
+    ASSERT_EQ(static_cast<int>(rig.opt->groupMode(0)),
+              static_cast<int>(GroupMode::Cache));
+    // The stacked-home segment now lives off-chip; hammering it must
+    // eventually produce cache-mode stacked hits.
+    Cycle t = 0;
+    bool hit = false;
+    for (int i = 0; i < 16 && !hit; ++i)
+        hit = rig.opt->access(rig.home(0, 0) + (i % 2) * 128,
+                              AccessType::Read, ++t)
+                  .stackedHit;
+    EXPECT_TRUE(hit);
+    EXPECT_TRUE(rig.opt->checkInvariants());
+}
+
+TEST(ChameleonOpt, DataSurvivesProactiveRemap)
+{
+    OptRig rig;
+    rig.opt->isaAlloc(rig.home(0, 0), 0);
+    const Addr a = rig.home(0, 0);
+    rig.opt->access(a, AccessType::Write, 1);
+    rig.opt->functionalWrite(a, 31337);
+    // Fill the group so it transitions to PoM (moves data around).
+    for (std::uint32_t s = 1; s < rig.opt->space().slotsPerGroup();
+         ++s)
+        rig.opt->isaAlloc(rig.home(0, s), 2);
+    EXPECT_EQ(rig.opt->functionalRead(a).value(), 31337u);
+    // Free a different segment (PoM -> cache with a one-way move).
+    rig.opt->isaFree(rig.home(0, 3), 3);
+    EXPECT_EQ(rig.opt->functionalRead(a).value(), 31337u);
+    EXPECT_TRUE(rig.opt->checkInvariants());
+}
+
+TEST(ChameleonOpt, CacheModeFractionTracksAnyFreeSegment)
+{
+    OptRig rig;
+    const std::uint64_t groups = rig.opt->space().numGroups();
+    const std::uint32_t slots = rig.opt->space().slotsPerGroup();
+    // Fully allocate every second group; leave one segment free in
+    // the others.
+    for (std::uint64_t g = 0; g < groups; ++g) {
+        const std::uint32_t keep_free = (g % 2 == 0) ? slots : 0;
+        for (std::uint32_t s = 0; s < slots; ++s)
+            if (s + 1 != keep_free || g % 2 != 0)
+                rig.opt->isaAlloc(rig.home(g, s), 0);
+    }
+    EXPECT_NEAR(rig.opt->cacheModeFraction(), 0.5, 1e-9);
+    EXPECT_TRUE(rig.opt->checkInvariants());
+}
+
+TEST(ChameleonOpt, HigherCacheFractionThanBasicUnderUniformFree)
+{
+    // With a uniformly-spread 10% free space, basic Chameleon can use
+    // only free *stacked* segments (~10% of groups) while Opt uses
+    // any free segment (~1-0.9^6 = 47% of groups).
+    PomConfig cfg;
+    OptRig rig(cfg);
+    DramTimings st = stackedDramConfig();
+    st.capacity = 64_KiB;
+    DramTimings ot = offchipDramConfig();
+    ot.capacity = 320_KiB;
+    DramDevice s2(st), o2(ot);
+    ChameleonMemory basic(&s2, &o2, cfg);
+
+    Rng rng(7);
+    const std::uint64_t segs = rig.opt->osVisibleBytes() / 2_KiB;
+    for (std::uint64_t i = 0; i < segs; ++i) {
+        if (rng.chance(0.9)) {
+            rig.opt->isaAlloc(i * 2_KiB, 0);
+            basic.isaAlloc(i * 2_KiB, 0);
+        }
+    }
+    EXPECT_GT(rig.opt->cacheModeFraction(),
+              basic.cacheModeFraction() * 2.0);
+    EXPECT_TRUE(rig.opt->checkInvariants());
+    EXPECT_TRUE(basic.checkInvariants());
+}
+
+TEST(ChameleonOpt, InvariantStorm)
+{
+    PomConfig cfg;
+    cfg.swapThreshold = 2;
+    cfg.burstCounter = true;
+    OptRig rig(cfg);
+    Rng rng(271);
+    const std::uint64_t os_bytes = rig.opt->osVisibleBytes();
+    const std::uint64_t segs = os_bytes / 2_KiB;
+    std::vector<bool> allocated(segs, false);
+    Cycle t = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const int op = static_cast<int>(rng.below(10));
+        if (op < 2) {
+            const std::uint64_t s = rng.below(segs);
+            if (!allocated[s]) {
+                rig.opt->isaAlloc(s * 2_KiB, ++t);
+                allocated[s] = true;
+            }
+        } else if (op < 4) {
+            const std::uint64_t s = rng.below(segs);
+            if (allocated[s]) {
+                rig.opt->isaFree(s * 2_KiB, ++t);
+                allocated[s] = false;
+            }
+        } else {
+            const Addr a = rng.below(os_bytes / 64) * 64;
+            rig.opt->access(a, rng.chance(0.3) ? AccessType::Write
+                                               : AccessType::Read,
+                            ++t);
+        }
+        if (i % 5000 == 0) {
+            ASSERT_TRUE(rig.opt->checkInvariants())
+                << "invariant broken at step " << i;
+        }
+    }
+    EXPECT_TRUE(rig.opt->checkInvariants());
+}

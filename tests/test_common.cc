@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Unit tests for the common substrate: RNG determinism and
+ * distribution sanity, statistics helpers, timelines and logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/timeline.hh"
+#include "common/types.hh"
+
+using namespace chameleon;
+
+TEST(Types, UnitLiterals)
+{
+    EXPECT_EQ(1_KiB, 1024u);
+    EXPECT_EQ(1_MiB, 1024u * 1024u);
+    EXPECT_EQ(4_GiB, 4ull << 30);
+}
+
+TEST(Types, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0u);
+    EXPECT_EQ(ceilDiv(1, 4), 1u);
+    EXPECT_EQ(ceilDiv(4, 4), 1u);
+    EXPECT_EQ(ceilDiv(5, 4), 2u);
+}
+
+TEST(Types, PowerOfTwoHelpers)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(48));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(5), 2u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowIsBounded)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(11);
+    const std::uint64_t buckets = 8;
+    std::uint64_t counts[8] = {};
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.below(buckets)];
+    for (std::uint64_t c : counts) {
+        EXPECT_GT(c, n / 8 * 0.9);
+        EXPECT_LT(c, n / 8 * 1.1);
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng rng(5);
+    const double target = 8.0;
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(target));
+    EXPECT_NEAR(sum / n, target, 0.35);
+}
+
+TEST(Rng, GeometricDegenerateMean)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.geometric(1.0), 1u);
+}
+
+TEST(Rng, ZipfIsSkewed)
+{
+    Rng rng(9);
+    const std::uint64_t n = 1000;
+    std::uint64_t low = 0, total = 20000;
+    for (std::uint64_t i = 0; i < total; ++i)
+        if (rng.zipf(n, 0.8) < n / 10)
+            ++low;
+    // With skew, the first decile should receive far more than 10%.
+    EXPECT_GT(static_cast<double>(low) / static_cast<double>(total),
+              0.3);
+}
+
+TEST(Rng, ZipfBounded)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10000; ++i) {
+        ASSERT_LT(rng.zipf(37, 0.6), 37u);
+        ASSERT_LT(rng.zipf(37, 1.0), 37u);
+    }
+    EXPECT_EQ(rng.zipf(1, 0.7), 0u);
+}
+
+TEST(Stats, MeanTracker)
+{
+    MeanTracker t;
+    EXPECT_EQ(t.count(), 0u);
+    EXPECT_EQ(t.mean(), 0.0);
+    t.sample(2.0);
+    t.sample(4.0);
+    t.sample(9.0);
+    EXPECT_DOUBLE_EQ(t.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(t.min(), 2.0);
+    EXPECT_DOUBLE_EQ(t.max(), 9.0);
+    EXPECT_EQ(t.count(), 3u);
+    t.reset();
+    EXPECT_EQ(t.count(), 0u);
+}
+
+TEST(Stats, GeoMean)
+{
+    EXPECT_DOUBLE_EQ(geoMean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geoMean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+    EXPECT_EQ(geoMean({}), 0.0);
+}
+
+TEST(Stats, ArithMean)
+{
+    EXPECT_DOUBLE_EQ(arithMean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_EQ(arithMean({}), 0.0);
+}
+
+TEST(Stats, HistogramBucketsAndPercentile)
+{
+    Histogram h(10.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.sample(static_cast<double>(i));
+    EXPECT_EQ(h.samples(), 100u);
+    EXPECT_EQ(h.bucket(0), 10u);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 10.0);
+    EXPECT_NEAR(h.percentile(0.99), 100.0, 10.0);
+}
+
+TEST(Stats, HistogramOverflow)
+{
+    Histogram h(1.0, 4);
+    h.sample(100.0);
+    EXPECT_EQ(h.bucket(h.buckets() - 1), 1u);
+}
+
+TEST(Stats, TextTableAlignsAndFormats)
+{
+    TextTable t({"name", "v"});
+    t.addRow({"a", "1.00"});
+    t.addRow({"bb", "10.00"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("10.00"), std::string::npos);
+    EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+}
+
+TEST(Log, StrFormat)
+{
+    EXPECT_EQ(strFormat("x=%d y=%s", 3, "z"), "x=3 y=z");
+    EXPECT_EQ(strFormat("%05.1f", 2.25), "002.2");
+}
+
+TEST(Timeline, SamplesAndExtremes)
+{
+    Timeline t("free");
+    EXPECT_TRUE(t.empty());
+    t.sample(0, 5.0);
+    t.sample(100, 1.0);
+    t.sample(200, 9.0);
+    EXPECT_EQ(t.samples().size(), 3u);
+    EXPECT_DOUBLE_EQ(t.minValue(), 1.0);
+    EXPECT_DOUBLE_EQ(t.maxValue(), 9.0);
+}
+
+TEST(Timeline, SparklineShape)
+{
+    Timeline t("s");
+    for (int i = 0; i < 100; ++i)
+        t.sample(static_cast<Cycle>(i), static_cast<double>(i));
+    const std::string line = t.sparkline(20);
+    EXPECT_EQ(line.size(), 20u);
+    // Rising series: last column should render "denser" than first.
+    EXPECT_LT(line.front(), line.back());
+}
+
+TEST(Timeline, EmptySparkline)
+{
+    Timeline t("e");
+    EXPECT_EQ(t.sparkline(10), "");
+}

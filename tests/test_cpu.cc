@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Core timing model and TLB tests: MLP window semantics, fault
+ * blocking, IPC accounting, TLB LRU and invalidation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core_model.hh"
+#include "cpu/tlb.hh"
+
+using namespace chameleon;
+
+TEST(CoreModel, ComputeAdvancesClockAtCpiOne)
+{
+    CoreModel core;
+    core.retireCompute(100);
+    EXPECT_EQ(core.now(), 100u);
+    EXPECT_EQ(core.retired(), 100u);
+    EXPECT_DOUBLE_EQ(core.ipc(), 1.0);
+}
+
+TEST(CoreModel, ReadsOverlapUpToWindow)
+{
+    CoreConfig cfg;
+    cfg.maxOutstanding = 2;
+    CoreModel core(cfg);
+    // Two misses fit in the window without stalling.
+    Cycle t1 = core.issueRead();
+    core.completeRead(t1 + 1000);
+    Cycle t2 = core.issueRead();
+    core.completeRead(t2 + 1000);
+    EXPECT_LE(core.now(), 2u + 0u); // only the two retire ticks
+    // Third miss must wait for the first to complete.
+    Cycle t3 = core.issueRead();
+    EXPECT_GE(t3, 1000u);
+}
+
+TEST(CoreModel, DrainWaitsForAllOutstanding)
+{
+    CoreModel core;
+    Cycle t = core.issueRead();
+    core.completeRead(t + 5000);
+    core.drain();
+    EXPECT_GE(core.now(), 5000u);
+}
+
+TEST(CoreModel, WritesArePosted)
+{
+    CoreModel core;
+    core.retireWrite();
+    core.retireWrite();
+    EXPECT_EQ(core.now(), 2u);
+    EXPECT_EQ(core.retired(), 2u);
+}
+
+TEST(CoreModel, FaultBlocksAndIsTracked)
+{
+    CoreModel core;
+    core.retireCompute(10);
+    core.blockFor(100'000);
+    EXPECT_EQ(core.now(), 100'010u);
+    EXPECT_EQ(core.faultStall(), 100'000u);
+    EXPECT_LT(core.ipc(), 0.001);
+}
+
+TEST(CoreModel, IpcReflectsMemoryStalls)
+{
+    CoreConfig cfg;
+    cfg.maxOutstanding = 1;
+    CoreModel core(cfg);
+    for (int i = 0; i < 10; ++i) {
+        core.retireCompute(10);
+        const Cycle t = core.issueRead();
+        core.completeRead(t + 90); // 90-cycle memory latency
+    }
+    core.drain();
+    // ~110 instructions over ~10*(10+90) cycles.
+    EXPECT_NEAR(core.ipc(), 110.0 / 1000.0, 0.03);
+}
+
+TEST(Tlb, HitAfterInstall)
+{
+    Tlb tlb;
+    EXPECT_GT(tlb.lookup(0x1000), 0u);
+    EXPECT_EQ(tlb.lookup(0x1fff), 0u); // same page
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, LruEviction)
+{
+    TlbConfig cfg;
+    cfg.entries = 4;
+    Tlb tlb(cfg);
+    for (Addr p = 0; p < 4; ++p)
+        tlb.lookup(p * 4_KiB);
+    tlb.lookup(0); // refresh page 0
+    tlb.lookup(4 * 4_KiB); // evicts page 1
+    EXPECT_EQ(tlb.lookup(0), 0u);
+    EXPECT_GT(tlb.lookup(1 * 4_KiB), 0u);
+}
+
+TEST(Tlb, InvalidateForcesWalk)
+{
+    Tlb tlb;
+    tlb.lookup(0x2000);
+    tlb.invalidate(0x2000);
+    EXPECT_GT(tlb.lookup(0x2000), 0u);
+}
+
+TEST(Tlb, FlushClearsEverything)
+{
+    Tlb tlb;
+    for (Addr p = 0; p < 8; ++p)
+        tlb.lookup(p * 4_KiB);
+    tlb.flush();
+    EXPECT_GT(tlb.lookup(0), 0u);
+}

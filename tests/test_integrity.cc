@@ -1,0 +1,193 @@
+/**
+ * @file
+ * End-to-end functional-integrity property tests.
+ *
+ * A shadow memory (plain map keyed by OS-visible address) is compared
+ * against each organization's functional data layer while a random
+ * storm of accesses and ISA-Alloc/ISA-Free events drives remaps,
+ * swaps, cache fills, writebacks and clears. Any path that loses,
+ * duplicates or leaks a block fails here. Parameterized over every
+ * design and over the paper's three capacity ratios.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/rng.hh"
+#include "core/chameleon.hh"
+#include "core/chameleon_opt.hh"
+#include "core/polymorphic.hh"
+#include "dram/dram_device.hh"
+#include "memorg/alloy_cache.hh"
+#include "memorg/flat_memory.hh"
+#include "memorg/pom.hh"
+
+using namespace chameleon;
+
+namespace
+{
+
+enum class Org
+{
+    Flat,
+    Alloy,
+    Pom,
+    Cham,
+    ChamOpt,
+    Poly,
+};
+
+struct Rig
+{
+    std::unique_ptr<DramDevice> stacked;
+    std::unique_ptr<DramDevice> offchip;
+    std::unique_ptr<MemOrganization> org;
+    bool hasIsa = false;
+
+    Rig(Org which, std::uint64_t s_bytes, std::uint64_t o_bytes)
+    {
+        DramTimings st = stackedDramConfig();
+        st.capacity = s_bytes;
+        DramTimings ot = offchipDramConfig();
+        ot.capacity = o_bytes;
+        stacked = std::make_unique<DramDevice>(st);
+        offchip = std::make_unique<DramDevice>(ot);
+        PomConfig pc;
+        pc.swapThreshold = 2;
+        switch (which) {
+          case Org::Flat:
+            org = std::make_unique<FlatMemory>(stacked.get(),
+                                               offchip.get());
+            break;
+          case Org::Alloy:
+            org = std::make_unique<AlloyCache>(stacked.get(),
+                                               offchip.get());
+            break;
+          case Org::Pom:
+            org = std::make_unique<PomMemory>(stacked.get(),
+                                              offchip.get(), pc);
+            break;
+          case Org::Cham:
+            org = std::make_unique<ChameleonMemory>(stacked.get(),
+                                                    offchip.get(), pc);
+            hasIsa = true;
+            break;
+          case Org::ChamOpt:
+            org = std::make_unique<ChameleonOptMemory>(
+                stacked.get(), offchip.get(), pc);
+            hasIsa = true;
+            break;
+          case Org::Poly:
+            org = std::make_unique<PolymorphicMemory>(stacked.get(),
+                                                      offchip.get(),
+                                                      pc);
+            hasIsa = true;
+            break;
+        }
+        org->enableFunctional(true);
+    }
+};
+
+struct Param
+{
+    Org which;
+    std::uint64_t stackedBytes;
+    std::uint64_t offchipBytes;
+    const char *label;
+};
+
+class IntegrityStorm : public ::testing::TestWithParam<Param>
+{
+};
+
+} // namespace
+
+TEST_P(IntegrityStorm, ShadowModelAgrees)
+{
+    const Param p = GetParam();
+    Rig rig(p.which, p.stackedBytes, p.offchipBytes);
+    const std::uint64_t os_bytes = rig.org->osVisibleBytes();
+    const std::uint64_t segs = os_bytes / 2_KiB;
+
+    Rng rng(1234);
+    std::unordered_map<Addr, std::uint64_t> shadow;
+    std::vector<bool> allocated(segs, !rig.hasIsa);
+    Cycle t = 0;
+
+    auto seg_of = [](Addr a) { return a / 2_KiB; };
+
+    for (int i = 0; i < 60000; ++i) {
+        const int op = static_cast<int>(rng.below(20));
+        if (rig.hasIsa && op == 0) {
+            const std::uint64_t s = rng.below(segs);
+            if (!allocated[s]) {
+                rig.org->isaAlloc(s * 2_KiB, ++t);
+                allocated[s] = true;
+            }
+        } else if (rig.hasIsa && op == 1) {
+            const std::uint64_t s = rng.below(segs);
+            if (allocated[s]) {
+                rig.org->isaFree(s * 2_KiB, ++t);
+                allocated[s] = false;
+                // Freed data is cleared by the hardware (§V-D2).
+                for (Addr a = s * 2_KiB; a < (s + 1) * 2_KiB; a += 64)
+                    shadow.erase(a);
+            }
+        } else {
+            const Addr a = rng.below(os_bytes / 64) * 64;
+            if (!allocated[seg_of(a)])
+                continue; // the OS does not touch free memory
+            const bool write = rng.chance(0.35);
+            rig.org->access(a, write ? AccessType::Write
+                                     : AccessType::Read, ++t);
+            if (write) {
+                const std::uint64_t v = rng.next();
+                rig.org->functionalWrite(a, v);
+                shadow[a] = v;
+            } else {
+                auto it = shadow.find(a);
+                if (it != shadow.end()) {
+                    const auto got = rig.org->functionalRead(a);
+                    ASSERT_TRUE(got.has_value())
+                        << p.label << ": block vanished at " << a
+                        << " (step " << i << ")";
+                    ASSERT_EQ(*got, it->second)
+                        << p.label << ": block corrupted at " << a
+                        << " (step " << i << ")";
+                }
+            }
+        }
+    }
+
+    // Full final sweep: every shadow block must still be readable.
+    for (const auto &[addr, value] : shadow) {
+        const auto got = rig.org->functionalRead(addr);
+        ASSERT_TRUE(got.has_value()) << p.label << " final sweep";
+        ASSERT_EQ(*got, value) << p.label << " final sweep";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesignsAndRatios, IntegrityStorm,
+    ::testing::Values(
+        Param{Org::Flat, 64_KiB, 320_KiB, "flat-1to5"},
+        Param{Org::Alloy, 64_KiB, 320_KiB, "alloy-1to5"},
+        Param{Org::Pom, 64_KiB, 320_KiB, "pom-1to5"},
+        Param{Org::Cham, 64_KiB, 320_KiB, "cham-1to5"},
+        Param{Org::ChamOpt, 64_KiB, 320_KiB, "opt-1to5"},
+        Param{Org::Poly, 64_KiB, 320_KiB, "poly-1to5"},
+        Param{Org::Pom, 96_KiB, 288_KiB, "pom-1to3"},
+        Param{Org::Cham, 96_KiB, 288_KiB, "cham-1to3"},
+        Param{Org::ChamOpt, 96_KiB, 288_KiB, "opt-1to3"},
+        Param{Org::Pom, 64_KiB, 448_KiB, "pom-1to7"},
+        Param{Org::Cham, 64_KiB, 448_KiB, "cham-1to7"},
+        Param{Org::ChamOpt, 64_KiB, 448_KiB, "opt-1to7"}),
+    [](const ::testing::TestParamInfo<Param> &info) {
+        std::string s = info.param.label;
+        for (auto &c : s)
+            if (c == '-')
+                c = '_';
+        return s;
+    });

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * System-level integration tests: every design runs a rate-mode
+ * workload end-to-end, determinism holds, warmup is excluded from
+ * measurement, over-capacity footprints page-fault on cache designs
+ * but not on PoM designs, and AutoNUMA improves on first-touch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "memorg/pom.hh"
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+
+using namespace chameleon;
+
+namespace
+{
+
+BenchOptions
+tinyOpts()
+{
+    BenchOptions o;
+    o.scale = 512; // 8MiB + 40MiB machine: fast
+    o.instrPerCore = 30'000;
+    o.minRefsPerCore = 3'000;
+    o.warmupFrac = 0.5;
+    return o;
+}
+
+AppProfile
+testApp(double footprint_frac_of_24 = 0.8)
+{
+    AppProfile p;
+    p.name = "testapp";
+    p.llcMpki = 25.0;
+    p.footprintBytes = static_cast<std::uint64_t>(
+        footprint_frac_of_24 * 24.0 * static_cast<double>(1_GiB)) /
+        512;
+    p.hotFraction = 0.05;
+    p.hotProbability = 0.9;
+    p.seqRunBlocks = 16.0;
+    p.writeFraction = 0.3;
+    return p;
+}
+
+} // namespace
+
+class AllDesigns : public ::testing::TestWithParam<Design>
+{
+};
+
+TEST_P(AllDesigns, RunsAndProducesSaneMetrics)
+{
+    const BenchOptions opts = tinyOpts();
+    SystemConfig cfg = makeSystemConfig(GetParam(), opts);
+    if (GetParam() == Design::NumaFlat)
+        cfg.runAutoNuma = false;
+    System sys(cfg);
+    sys.loadRateWorkload(testApp());
+    const RunResult r = sys.run(opts.instrPerCore,
+                                opts.instrPerCore / 2);
+    EXPECT_GT(r.ipcGeoMean, 0.0);
+    EXPECT_LE(r.ipcGeoMean, 4.0);
+    EXPECT_GE(r.stackedHitRate, 0.0);
+    EXPECT_LE(r.stackedHitRate, 1.0);
+    EXPECT_EQ(r.ipcPerCore.size(), 12u);
+    EXPECT_GT(r.memRefs, 0u);
+    if (GetParam() == Design::FlatDdr) {
+        EXPECT_EQ(r.stackedHitRate, 0.0);
+    }
+}
+
+TEST_P(AllDesigns, DeterministicAcrossRuns)
+{
+    const BenchOptions opts = tinyOpts();
+    auto run_once = [&]() {
+        System sys(makeSystemConfig(GetParam(), opts));
+        sys.loadRateWorkload(testApp());
+        return sys.run(opts.instrPerCore, opts.instrPerCore / 2);
+    };
+    const RunResult a = run_once();
+    const RunResult b = run_once();
+    EXPECT_EQ(a.ipcGeoMean, b.ipcGeoMean);
+    EXPECT_EQ(a.swaps, b.swaps);
+    EXPECT_EQ(a.fills, b.fills);
+    EXPECT_EQ(a.memRefs, b.memRefs);
+    EXPECT_EQ(a.majorFaults, b.majorFaults);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EveryDesign, AllDesigns,
+    ::testing::Values(Design::FlatDdr, Design::NumaFlat, Design::Alloy,
+                      Design::Pom, Design::Chameleon,
+                      Design::ChameleonOpt, Design::Polymorphic),
+    [](const ::testing::TestParamInfo<Design> &info) {
+        std::string s = designLabel(info.param);
+        for (auto &c : s)
+            if (c == '-')
+                c = '_';
+        return s;
+    });
+
+TEST(System, CapacityLossCausesFaultsOnCacheDesigns)
+{
+    const BenchOptions opts = tinyOpts();
+    // Footprint 22/24: fits PoM's 24, overflows Alloy's 20.
+    const AppProfile app = testApp(22.0 / 24.0);
+
+    System alloy(makeSystemConfig(Design::Alloy, opts));
+    alloy.loadRateWorkload(app);
+    const RunResult ra = alloy.run(opts.instrPerCore,
+                                   opts.instrPerCore / 2);
+
+    System pom(makeSystemConfig(Design::Pom, opts));
+    pom.loadRateWorkload(app);
+    const RunResult rp = pom.run(opts.instrPerCore,
+                                 opts.instrPerCore / 2);
+
+    EXPECT_GT(ra.majorFaults, 0u)
+        << "cache design must page-fault on a 22GB-equivalent load";
+    EXPECT_EQ(rp.majorFaults, 0u)
+        << "PoM exposes the full 24GB equivalent";
+    EXPECT_GT(rp.ipcGeoMean, ra.ipcGeoMean * 1.5);
+}
+
+TEST(System, ChameleonModeFractionsOrdered)
+{
+    const BenchOptions opts = tinyOpts();
+    const AppProfile app = testApp(0.85);
+    System basic(makeSystemConfig(Design::Chameleon, opts));
+    basic.loadRateWorkload(app);
+    const RunResult rb = basic.run(opts.instrPerCore, 0);
+    System optsys(makeSystemConfig(Design::ChameleonOpt, opts));
+    optsys.loadRateWorkload(app);
+    const RunResult ro = optsys.run(opts.instrPerCore, 0);
+    ASSERT_GE(rb.cacheModeFraction, 0.0);
+    ASSERT_GE(ro.cacheModeFraction, 0.0);
+    // Basic can only exploit free stacked segments (~15%); Opt any
+    // free segment.
+    EXPECT_GT(ro.cacheModeFraction, rb.cacheModeFraction);
+    EXPECT_NEAR(rb.cacheModeFraction, 0.15, 0.08);
+}
+
+TEST(System, WarmupExcludedFromMeasurement)
+{
+    const BenchOptions opts = tinyOpts();
+    System sys(makeSystemConfig(Design::ChameleonOpt, opts));
+    sys.loadRateWorkload(testApp());
+    const RunResult r = sys.run(10'000, 20'000);
+    // Measured instruction count covers only the measured phase.
+    EXPECT_NEAR(static_cast<double>(r.instructions), 12.0 * 10'000,
+                12.0 * 10'000 * 0.02);
+}
+
+TEST(System, AutoNumaBeatsFirstTouch)
+{
+    BenchOptions opts = tinyOpts();
+    opts.instrPerCore = 60'000;
+    const AppProfile app = testApp(0.6);
+
+    SystemConfig ft = makeSystemConfig(Design::NumaFlat, opts);
+    System sys_ft(ft);
+    sys_ft.loadRateWorkload(app);
+    const RunResult r_ft = sys_ft.run(opts.instrPerCore, 0);
+
+    SystemConfig an = makeSystemConfig(Design::NumaFlat, opts);
+    an.runAutoNuma = true;
+    an.autonuma.epochCycles = 50'000;
+    an.autonuma.threshold = 0.9;
+    System sys_an(an);
+    sys_an.loadRateWorkload(app);
+    const RunResult r_an = sys_an.run(opts.instrPerCore, 0);
+
+    // First-touch fills the small stacked zone with whatever pages
+    // allocate first; AutoNUMA migrates the hot ones in, so its hit
+    // rate must be clearly higher (Fig 2a vs 2b).
+    EXPECT_GT(r_an.stackedHitRate, r_ft.stackedHitRate);
+    EXPECT_GT(sys_an.autonumaDaemon()->totalMigrations(), 0u);
+}
+
+TEST(System, AutoNumaRequiresNumaFlat)
+{
+    BenchOptions opts = tinyOpts();
+    SystemConfig cfg = makeSystemConfig(Design::Pom, opts);
+    cfg.runAutoNuma = true;
+    EXPECT_DEATH(System{cfg}, "numa-flat");
+}
+
+TEST(System, RatioSensitivityModeFractions)
+{
+    // Fig 21: the cache-mode share of Chameleon-Opt grows with the
+    // stacked:off-chip ratio (1:3 -> 1:7).
+    BenchOptions o13 = tinyOpts();
+    o13.stackedFullGiB = 6;
+    o13.offchipFullGiB = 18;
+    BenchOptions o17 = tinyOpts();
+    o17.stackedFullGiB = 3;
+    o17.offchipFullGiB = 21;
+
+    auto frac = [](const BenchOptions &o) {
+        System sys(makeSystemConfig(Design::ChameleonOpt, o));
+        AppProfile app = testApp(0.85);
+        sys.loadRateWorkload(app);
+        const RunResult r = sys.run(o.instrPerCore, 0);
+        return r.cacheModeFraction;
+    };
+    EXPECT_GT(frac(o17), frac(o13));
+}
+
+TEST(System, NoWorkloadIsFatal)
+{
+    const BenchOptions opts = tinyOpts();
+    System sys(makeSystemConfig(Design::Pom, opts));
+    EXPECT_DEATH(sys.run(1000), "no workload");
+}
+
+TEST(System, TraceWorkloadRuns)
+{
+    const char *path = "/tmp/chameleon_sys_trace.txt";
+    std::FILE *f = std::fopen(path, "w");
+    for (int i = 0; i < 256; ++i)
+        std::fprintf(f, "%c 0x%x 20\n", i % 3 == 0 ? 'W' : 'R',
+                     (i * 4096) % (1 << 20));
+    std::fclose(f);
+
+    const BenchOptions opts = tinyOpts();
+    System sys(makeSystemConfig(Design::ChameleonOpt, opts));
+    sys.loadTraceWorkload({path});
+    const RunResult r = sys.run(5'000);
+    EXPECT_GT(r.ipcGeoMean, 0.0);
+    EXPECT_GT(r.memRefs, 0u);
+}
+
+TEST(System, SrtCacheCostsLatencyOnMisses)
+{
+    const BenchOptions opts = tinyOpts();
+    SystemConfig ideal = makeSystemConfig(Design::Pom, opts);
+    SystemConfig cached = makeSystemConfig(Design::Pom, opts);
+    cached.pom.srtCacheEntries = 64; // tiny: frequent misses
+
+    System a(ideal), b(cached);
+    const AppProfile app = testApp(0.7);
+    a.loadRateWorkload(app);
+    b.loadRateWorkload(app);
+    const RunResult ra = a.run(20'000);
+    const RunResult rb = b.run(20'000);
+    // Metadata fetches from stacked DRAM add latency.
+    EXPECT_GT(rb.amal, ra.amal);
+    auto *pom = dynamic_cast<PomMemory *>(&b.organization());
+    ASSERT_NE(pom, nullptr);
+    EXPECT_GT(pom->srtCacheMisses(), 0u);
+    EXPECT_GT(pom->srtCacheHits(), 0u);
+}
