@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_counter.dir/ablation_counter.cc.o"
+  "CMakeFiles/ablation_counter.dir/ablation_counter.cc.o.d"
+  "ablation_counter"
+  "ablation_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_segsize.dir/ablation_segsize.cc.o"
+  "CMakeFiles/ablation_segsize.dir/ablation_segsize.cc.o.d"
+  "ablation_segsize"
+  "ablation_segsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_segsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_srtcache.dir/ablation_srtcache.cc.o"
+  "CMakeFiles/ablation_srtcache.dir/ablation_srtcache.cc.o.d"
+  "ablation_srtcache"
+  "ablation_srtcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_srtcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_hitrate.dir/fig15_hitrate.cc.o"
+  "CMakeFiles/fig15_hitrate.dir/fig15_hitrate.cc.o.d"
+  "fig15_hitrate"
+  "fig15_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_mode_distribution.dir/fig16_mode_distribution.cc.o"
+  "CMakeFiles/fig16_mode_distribution.dir/fig16_mode_distribution.cc.o.d"
+  "fig16_mode_distribution"
+  "fig16_mode_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_mode_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

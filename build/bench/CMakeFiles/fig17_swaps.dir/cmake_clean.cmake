@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_swaps.dir/fig17_swaps.cc.o"
+  "CMakeFiles/fig17_swaps.dir/fig17_swaps.cc.o.d"
+  "fig17_swaps"
+  "fig17_swaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_swaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_ipc.dir/fig18_ipc.cc.o"
+  "CMakeFiles/fig18_ipc.dir/fig18_ipc.cc.o.d"
+  "fig18_ipc"
+  "fig18_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_amal.dir/fig19_amal.cc.o"
+  "CMakeFiles/fig19_amal.dir/fig19_amal.cc.o.d"
+  "fig19_amal"
+  "fig19_amal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_amal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

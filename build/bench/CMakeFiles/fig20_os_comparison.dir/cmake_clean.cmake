@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_os_comparison.dir/fig20_os_comparison.cc.o"
+  "CMakeFiles/fig20_os_comparison.dir/fig20_os_comparison.cc.o.d"
+  "fig20_os_comparison"
+  "fig20_os_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_os_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

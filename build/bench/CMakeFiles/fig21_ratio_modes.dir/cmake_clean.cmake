@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_ratio_modes.dir/fig21_ratio_modes.cc.o"
+  "CMakeFiles/fig21_ratio_modes.dir/fig21_ratio_modes.cc.o.d"
+  "fig21_ratio_modes"
+  "fig21_ratio_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_ratio_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_polymorphic.dir/fig22_polymorphic.cc.o"
+  "CMakeFiles/fig22_polymorphic.dir/fig22_polymorphic.cc.o.d"
+  "fig22_polymorphic"
+  "fig22_polymorphic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_polymorphic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

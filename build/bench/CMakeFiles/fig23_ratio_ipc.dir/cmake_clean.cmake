@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_ratio_ipc.dir/fig23_ratio_ipc.cc.o"
+  "CMakeFiles/fig23_ratio_ipc.dir/fig23_ratio_ipc.cc.o.d"
+  "fig23_ratio_ipc"
+  "fig23_ratio_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_ratio_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

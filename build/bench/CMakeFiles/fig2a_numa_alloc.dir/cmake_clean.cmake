@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_numa_alloc.dir/fig2a_numa_alloc.cc.o"
+  "CMakeFiles/fig2a_numa_alloc.dir/fig2a_numa_alloc.cc.o.d"
+  "fig2a_numa_alloc"
+  "fig2a_numa_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_numa_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

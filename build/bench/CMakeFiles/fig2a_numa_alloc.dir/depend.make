@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2a_numa_alloc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_autonuma.dir/fig2b_autonuma.cc.o"
+  "CMakeFiles/fig2b_autonuma.dir/fig2b_autonuma.cc.o.d"
+  "fig2b_autonuma"
+  "fig2b_autonuma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_autonuma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

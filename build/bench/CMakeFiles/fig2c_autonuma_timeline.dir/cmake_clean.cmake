@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2c_autonuma_timeline.dir/fig2c_autonuma_timeline.cc.o"
+  "CMakeFiles/fig2c_autonuma_timeline.dir/fig2c_autonuma_timeline.cc.o.d"
+  "fig2c_autonuma_timeline"
+  "fig2c_autonuma_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2c_autonuma_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_pagefaults_util.dir/fig5_pagefaults_util.cc.o"
+  "CMakeFiles/fig5_pagefaults_util.dir/fig5_pagefaults_util.cc.o.d"
+  "fig5_pagefaults_util"
+  "fig5_pagefaults_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_pagefaults_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

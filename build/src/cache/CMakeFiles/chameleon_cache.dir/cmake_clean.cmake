@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_cache.dir/cache.cc.o"
+  "CMakeFiles/chameleon_cache.dir/cache.cc.o.d"
+  "CMakeFiles/chameleon_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/chameleon_cache.dir/hierarchy.cc.o.d"
+  "libchameleon_cache.a"
+  "libchameleon_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_common.dir/log.cc.o"
+  "CMakeFiles/chameleon_common.dir/log.cc.o.d"
+  "CMakeFiles/chameleon_common.dir/stats.cc.o"
+  "CMakeFiles/chameleon_common.dir/stats.cc.o.d"
+  "CMakeFiles/chameleon_common.dir/timeline.cc.o"
+  "CMakeFiles/chameleon_common.dir/timeline.cc.o.d"
+  "libchameleon_common.a"
+  "libchameleon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

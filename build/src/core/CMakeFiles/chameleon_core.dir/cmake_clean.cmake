@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_core.dir/chameleon.cc.o"
+  "CMakeFiles/chameleon_core.dir/chameleon.cc.o.d"
+  "CMakeFiles/chameleon_core.dir/chameleon_opt.cc.o"
+  "CMakeFiles/chameleon_core.dir/chameleon_opt.cc.o.d"
+  "libchameleon_core.a"
+  "libchameleon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

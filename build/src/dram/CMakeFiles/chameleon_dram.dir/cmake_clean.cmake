@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_dram.dir/dram_device.cc.o"
+  "CMakeFiles/chameleon_dram.dir/dram_device.cc.o.d"
+  "libchameleon_dram.a"
+  "libchameleon_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memorg/alloy_cache.cc" "src/memorg/CMakeFiles/chameleon_memorg.dir/alloy_cache.cc.o" "gcc" "src/memorg/CMakeFiles/chameleon_memorg.dir/alloy_cache.cc.o.d"
+  "/root/repo/src/memorg/flat_memory.cc" "src/memorg/CMakeFiles/chameleon_memorg.dir/flat_memory.cc.o" "gcc" "src/memorg/CMakeFiles/chameleon_memorg.dir/flat_memory.cc.o.d"
+  "/root/repo/src/memorg/mem_organization.cc" "src/memorg/CMakeFiles/chameleon_memorg.dir/mem_organization.cc.o" "gcc" "src/memorg/CMakeFiles/chameleon_memorg.dir/mem_organization.cc.o.d"
+  "/root/repo/src/memorg/pom.cc" "src/memorg/CMakeFiles/chameleon_memorg.dir/pom.cc.o" "gcc" "src/memorg/CMakeFiles/chameleon_memorg.dir/pom.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chameleon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/chameleon_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/chameleon_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

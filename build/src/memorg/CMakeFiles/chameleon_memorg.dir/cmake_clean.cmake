@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_memorg.dir/alloy_cache.cc.o"
+  "CMakeFiles/chameleon_memorg.dir/alloy_cache.cc.o.d"
+  "CMakeFiles/chameleon_memorg.dir/flat_memory.cc.o"
+  "CMakeFiles/chameleon_memorg.dir/flat_memory.cc.o.d"
+  "CMakeFiles/chameleon_memorg.dir/mem_organization.cc.o"
+  "CMakeFiles/chameleon_memorg.dir/mem_organization.cc.o.d"
+  "CMakeFiles/chameleon_memorg.dir/pom.cc.o"
+  "CMakeFiles/chameleon_memorg.dir/pom.cc.o.d"
+  "libchameleon_memorg.a"
+  "libchameleon_memorg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_memorg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

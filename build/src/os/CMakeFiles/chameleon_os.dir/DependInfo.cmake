@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/autonuma.cc" "src/os/CMakeFiles/chameleon_os.dir/autonuma.cc.o" "gcc" "src/os/CMakeFiles/chameleon_os.dir/autonuma.cc.o.d"
+  "/root/repo/src/os/frame_allocator.cc" "src/os/CMakeFiles/chameleon_os.dir/frame_allocator.cc.o" "gcc" "src/os/CMakeFiles/chameleon_os.dir/frame_allocator.cc.o.d"
+  "/root/repo/src/os/mini_os.cc" "src/os/CMakeFiles/chameleon_os.dir/mini_os.cc.o" "gcc" "src/os/CMakeFiles/chameleon_os.dir/mini_os.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chameleon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_os.dir/autonuma.cc.o"
+  "CMakeFiles/chameleon_os.dir/autonuma.cc.o.d"
+  "CMakeFiles/chameleon_os.dir/frame_allocator.cc.o"
+  "CMakeFiles/chameleon_os.dir/frame_allocator.cc.o.d"
+  "CMakeFiles/chameleon_os.dir/mini_os.cc.o"
+  "CMakeFiles/chameleon_os.dir/mini_os.cc.o.d"
+  "libchameleon_os.a"
+  "libchameleon_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

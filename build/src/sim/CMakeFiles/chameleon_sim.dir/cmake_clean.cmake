@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_sim.dir/experiment.cc.o"
+  "CMakeFiles/chameleon_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/chameleon_sim.dir/system.cc.o"
+  "CMakeFiles/chameleon_sim.dir/system.cc.o.d"
+  "libchameleon_sim.a"
+  "libchameleon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/profile.cc" "src/workloads/CMakeFiles/chameleon_workloads.dir/profile.cc.o" "gcc" "src/workloads/CMakeFiles/chameleon_workloads.dir/profile.cc.o.d"
+  "/root/repo/src/workloads/stream_gen.cc" "src/workloads/CMakeFiles/chameleon_workloads.dir/stream_gen.cc.o" "gcc" "src/workloads/CMakeFiles/chameleon_workloads.dir/stream_gen.cc.o.d"
+  "/root/repo/src/workloads/trace_stream.cc" "src/workloads/CMakeFiles/chameleon_workloads.dir/trace_stream.cc.o" "gcc" "src/workloads/CMakeFiles/chameleon_workloads.dir/trace_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chameleon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_workloads.dir/profile.cc.o"
+  "CMakeFiles/chameleon_workloads.dir/profile.cc.o.d"
+  "CMakeFiles/chameleon_workloads.dir/stream_gen.cc.o"
+  "CMakeFiles/chameleon_workloads.dir/stream_gen.cc.o.d"
+  "CMakeFiles/chameleon_workloads.dir/trace_stream.cc.o"
+  "CMakeFiles/chameleon_workloads.dir/trace_stream.cc.o.d"
+  "libchameleon_workloads.a"
+  "libchameleon_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

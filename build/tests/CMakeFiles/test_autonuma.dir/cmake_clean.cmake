@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autonuma.dir/test_autonuma.cc.o"
+  "CMakeFiles/test_autonuma.dir/test_autonuma.cc.o.d"
+  "test_autonuma"
+  "test_autonuma.pdb"
+  "test_autonuma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autonuma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chameleon.dir/test_chameleon.cc.o"
+  "CMakeFiles/test_chameleon.dir/test_chameleon.cc.o.d"
+  "test_chameleon"
+  "test_chameleon.pdb"
+  "test_chameleon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chameleon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

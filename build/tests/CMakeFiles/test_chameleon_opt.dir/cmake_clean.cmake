@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chameleon_opt.dir/test_chameleon_opt.cc.o"
+  "CMakeFiles/test_chameleon_opt.dir/test_chameleon_opt.cc.o.d"
+  "test_chameleon_opt"
+  "test_chameleon_opt.pdb"
+  "test_chameleon_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chameleon_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

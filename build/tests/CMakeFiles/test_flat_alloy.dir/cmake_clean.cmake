@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flat_alloy.dir/test_flat_alloy.cc.o"
+  "CMakeFiles/test_flat_alloy.dir/test_flat_alloy.cc.o.d"
+  "test_flat_alloy"
+  "test_flat_alloy.pdb"
+  "test_flat_alloy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flat_alloy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mini_os.dir/test_mini_os.cc.o"
+  "CMakeFiles/test_mini_os.dir/test_mini_os.cc.o.d"
+  "test_mini_os"
+  "test_mini_os.pdb"
+  "test_mini_os[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mini_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

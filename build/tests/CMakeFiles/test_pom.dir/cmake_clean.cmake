@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pom.dir/test_pom.cc.o"
+  "CMakeFiles/test_pom.dir/test_pom.cc.o.d"
+  "test_pom"
+  "test_pom.pdb"
+  "test_pom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

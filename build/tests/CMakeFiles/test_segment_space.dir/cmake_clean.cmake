@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_segment_space.dir/test_segment_space.cc.o"
+  "CMakeFiles/test_segment_space.dir/test_segment_space.cc.o.d"
+  "test_segment_space"
+  "test_segment_space.pdb"
+  "test_segment_space[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_segment_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

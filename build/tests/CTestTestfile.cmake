@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_dram[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_frame_allocator[1]_include.cmake")
+include("/root/repo/build/tests/test_mini_os[1]_include.cmake")
+include("/root/repo/build/tests/test_autonuma[1]_include.cmake")
+include("/root/repo/build/tests/test_segment_space[1]_include.cmake")
+include("/root/repo/build/tests/test_flat_alloy[1]_include.cmake")
+include("/root/repo/build/tests/test_pom[1]_include.cmake")
+include("/root/repo/build/tests/test_chameleon[1]_include.cmake")
+include("/root/repo/build/tests/test_chameleon_opt[1]_include.cmake")
+include("/root/repo/build/tests/test_integrity[1]_include.cmake")
+include("/root/repo/build/tests/test_system[1]_include.cmake")
+include("/root/repo/build/tests/test_experiment[1]_include.cmake")
