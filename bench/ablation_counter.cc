@@ -22,14 +22,26 @@ main(int argc, char **argv)
     const char *app_names[] = {"lbm", "stream", "mcf", "hpccg"};
     const auto suite = tableTwoSuite(opts.scale);
 
-    TextTable table({"workload", "counter", "hit%", "swaps", "IPC"});
+    SweepRunner runner(opts);
     for (const char *name : app_names) {
         const AppProfile &app = findProfile(suite, name);
         for (bool burst : {false, true}) {
             SystemConfig cfg = makeSystemConfig(Design::Pom, opts);
             cfg.pom.burstCounter = burst;
             cfg.pom.swapThreshold = burst ? 2 : 8;
-            const RunResult r = runRateWorkload(cfg, app, opts);
+            runner.submit(burst ? "pom-burst" : "pom-per-access",
+                          name, [cfg, app, opts] {
+                              return runRateWorkload(cfg, app, opts);
+                          });
+        }
+    }
+    const std::vector<RunResult> res = runner.collectResults();
+
+    TextTable table({"workload", "counter", "hit%", "swaps", "IPC"});
+    std::size_t i = 0;
+    for (const char *name : app_names) {
+        for (bool burst : {false, true}) {
+            const RunResult &r = res[i++];
             table.addRow({name, burst ? "burst+defense" : "per-access",
                           TextTable::fmt(100.0 * r.stackedHitRate, 1),
                           std::to_string(r.swaps),

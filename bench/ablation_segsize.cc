@@ -22,15 +22,31 @@ main(int argc, char **argv)
     const char *app_names[] = {"lbm", "mcf", "stream", "bwaves"};
     const auto suite = tableTwoSuite(opts.scale);
 
-    TextTable table({"workload", "seg", "design", "hit%", "swapKB",
-                     "IPC"});
+    SweepRunner runner(opts);
     for (const char *name : app_names) {
         const AppProfile &app = findProfile(suite, name);
         for (std::uint64_t seg : {2048ull, 64ull}) {
             for (Design d : {Design::Pom, Design::ChameleonOpt}) {
                 SystemConfig cfg = makeSystemConfig(d, opts);
                 cfg.pom.segmentBytes = seg;
-                const RunResult r = runRateWorkload(cfg, app, opts);
+                runner.submit(std::string(designLabel(d)) +
+                                  (seg == 64 ? "-64B" : "-2KiB"),
+                              name, [cfg, app, opts] {
+                                  return runRateWorkload(cfg, app,
+                                                         opts);
+                              });
+            }
+        }
+    }
+    const std::vector<RunResult> res = runner.collectResults();
+
+    TextTable table({"workload", "seg", "design", "hit%", "swapKB",
+                     "IPC"});
+    std::size_t i = 0;
+    for (const char *name : app_names) {
+        for (std::uint64_t seg : {2048ull, 64ull}) {
+            for (Design d : {Design::Pom, Design::ChameleonOpt}) {
+                const RunResult &r = res[i++];
                 table.addRow(
                     {name, seg == 64 ? "64B" : "2KiB",
                      designLabel(d),

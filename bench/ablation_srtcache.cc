@@ -22,19 +22,37 @@ main(int argc, char **argv)
     const auto suite = tableTwoSuite(opts.scale);
     const AppProfile &app = findProfile(suite, "GemsFDTD");
 
-    TextTable table({"srt-cache", "srt-hit%", "AMAL", "IPC"});
-    for (std::uint32_t entries : {0u, 1024u, 8192u, 65536u}) {
+    const std::uint32_t sizes[] = {0u, 1024u, 8192u, 65536u};
+    // SRT hit/miss counters live outside RunResult; each job writes
+    // its own pre-sized slot, so the fan-out stays race-free.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> srt(
+        std::size(sizes));
+    SweepRunner runner(opts);
+    for (std::size_t s = 0; s < std::size(sizes); ++s) {
         SystemConfig cfg = makeSystemConfig(Design::ChameleonOpt, opts);
-        cfg.pom.srtCacheEntries = entries;
-        System sys(cfg);
-        sys.loadRateWorkload(app);
-        const std::uint64_t instr = effectiveInstructions(app, opts);
-        const RunResult r = sys.run(instr, instr);
-        auto *pom = dynamic_cast<PomMemory *>(&sys.organization());
-        const std::uint64_t h = pom->srtCacheHits();
-        const std::uint64_t m = pom->srtCacheMisses();
+        cfg.pom.srtCacheEntries = sizes[s];
+        runner.submit("chameleon-opt-srt" + std::to_string(sizes[s]),
+                      app.name, [cfg, app, opts, slot = &srt[s]] {
+                          System sys(cfg);
+                          sys.loadRateWorkload(app);
+                          const std::uint64_t instr =
+                              effectiveInstructions(app, opts);
+                          const RunResult r = sys.run(instr, instr);
+                          auto *pom = dynamic_cast<PomMemory *>(
+                              &sys.organization());
+                          *slot = {pom->srtCacheHits(),
+                                   pom->srtCacheMisses()};
+                          return r;
+                      });
+    }
+    const std::vector<RunResult> res = runner.collectResults();
+
+    TextTable table({"srt-cache", "srt-hit%", "AMAL", "IPC"});
+    for (std::size_t s = 0; s < std::size(sizes); ++s) {
+        const RunResult &r = res[s];
+        const auto [h, m] = srt[s];
         table.addRow(
-            {entries == 0 ? "ideal SRAM" : std::to_string(entries),
+            {sizes[s] == 0 ? "ideal SRAM" : std::to_string(sizes[s]),
              h + m ? TextTable::fmt(100.0 * static_cast<double>(h) /
                                         static_cast<double>(h + m), 1)
                    : std::string("-"),

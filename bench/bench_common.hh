@@ -16,6 +16,7 @@
 
 #include "common/stats.hh"
 #include "sim/experiment.hh"
+#include "sim/sweep_runner.hh"
 
 namespace chameleon
 {
@@ -41,8 +42,11 @@ struct SuiteSweep
 };
 
 /**
- * Run every app in @p apps on every design in @p designs. @p tweak
- * (optional) may adjust each SystemConfig before the run.
+ * Run every app in @p apps on every design in @p designs, fanned
+ * across --jobs SweepRunner workers (each cell owns its System, so
+ * the grid is embarrassingly parallel; results come back in grid
+ * order either way). @p tweak (optional) may adjust each
+ * SystemConfig before the run.
  */
 inline SuiteSweep
 runSuiteSweep(const std::vector<Design> &designs,
@@ -53,15 +57,26 @@ runSuiteSweep(const std::vector<Design> &designs,
     SuiteSweep sweep;
     sweep.designs = designs;
     sweep.apps = apps;
+
+    SweepRunner runner(opts);
     for (Design d : designs) {
-        std::vector<RunResult> row;
         for (const AppProfile &app : apps) {
             SystemConfig cfg = makeSystemConfig(d, opts);
             if (tweak)
                 tweak(cfg);
-            row.push_back(runRateWorkload(cfg, app, opts));
-            std::fflush(stdout);
+            runner.submit(designLabel(d), app.name,
+                          [cfg, app, opts] {
+                              return runRateWorkload(cfg, app, opts);
+                          });
         }
+    }
+    std::vector<RunResult> flat = runner.collectResults();
+
+    std::size_t i = 0;
+    for (std::size_t d = 0; d < designs.size(); ++d) {
+        std::vector<RunResult> row;
+        for (std::size_t a = 0; a < apps.size(); ++a)
+            row.push_back(std::move(flat[i++]));
         sweep.cells.push_back(std::move(row));
     }
     return sweep;

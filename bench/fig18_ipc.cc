@@ -38,16 +38,22 @@ main(int argc, char **argv)
         {"Cham-Opt", Design::ChameleonOpt, 20},
     };
 
-    std::vector<std::vector<double>> ipc(std::size(cols));
+    SweepRunner runner(opts);
     for (std::size_t c = 0; c < std::size(cols); ++c) {
         for (const AppProfile &app : apps) {
             BenchOptions o = opts;
             o.offchipFullGiB = cols[c].offchip_gib;
             SystemConfig cfg = makeSystemConfig(cols[c].design, o);
-            ipc[c].push_back(
-                runRateWorkload(cfg, app, o).ipcGeoMean);
+            runner.submit(cols[c].label, app.name, [cfg, app, o] {
+                return runRateWorkload(cfg, app, o);
+            });
         }
     }
+    const std::vector<RunResult> res = runner.collectResults();
+    std::vector<std::vector<double>> ipc(std::size(cols));
+    for (std::size_t c = 0; c < std::size(cols); ++c)
+        for (std::size_t a = 0; a < apps.size(); ++a)
+            ipc[c].push_back(res[c * apps.size() + a].ipcGeoMean);
 
     TextTable table({"workload", "base20GB", "base24GB", "Alloy",
                      "PoM", "Chameleon", "Cham-Opt"});

@@ -38,7 +38,7 @@ main(int argc, char **argv)
         {"Cham-Opt", Design::ChameleonOpt, false, 0},
     };
 
-    std::vector<std::vector<double>> ipc(std::size(cols));
+    SweepRunner runner(opts);
     for (std::size_t c = 0; c < std::size(cols); ++c) {
         for (const AppProfile &app : apps) {
             SystemConfig cfg = makeSystemConfig(cols[c].design, opts);
@@ -48,10 +48,17 @@ main(int argc, char **argv)
                 cfg.autonuma.epochCycles =
                     10'000'000 / opts.scale * 8;
             }
-            ipc[c].push_back(
-                runRateWorkload(cfg, app, opts).ipcGeoMean);
+            runner.submit(cols[c].label, app.name,
+                          [cfg, app, opts] {
+                              return runRateWorkload(cfg, app, opts);
+                          });
         }
     }
+    const std::vector<RunResult> res = runner.collectResults();
+    std::vector<std::vector<double>> ipc(std::size(cols));
+    for (std::size_t c = 0; c < std::size(cols); ++c)
+        for (std::size_t a = 0; a < apps.size(); ++a)
+            ipc[c].push_back(res[c * apps.size() + a].ipcGeoMean);
 
     TextTable table({"config", "normalized IPC (geomean)"});
     std::vector<double> gms;

@@ -29,23 +29,34 @@ main(int argc, char **argv)
                             {"1:7 (3GB+21GB)", 3, 21}};
     const auto apps = tableTwoSuite(opts.scale);
 
-    TextTable table({"ratio", "Cham-Opt cache-mode% (avg)",
-                     "Chameleon cache-mode% (avg)"});
+    // All (ratio x design x app) cells share one parallel grid.
+    SweepRunner runner(opts);
     for (const Ratio &r : ratios) {
         BenchOptions o = opts;
         o.stackedFullGiB = r.stacked_gib;
         o.offchipFullGiB = r.offchip_gib;
-        std::vector<double> opt_frac, cham_frac;
-        for (const AppProfile &app : apps) {
-            opt_frac.push_back(
-                runRateWorkload(
-                    makeSystemConfig(Design::ChameleonOpt, o), app, o)
-                    .cacheModeFraction);
-            cham_frac.push_back(
-                runRateWorkload(
-                    makeSystemConfig(Design::Chameleon, o), app, o)
-                    .cacheModeFraction);
+        for (Design d : {Design::ChameleonOpt, Design::Chameleon}) {
+            for (const AppProfile &app : apps) {
+                SystemConfig cfg = makeSystemConfig(d, o);
+                runner.submit(
+                    std::string(designLabel(d)) + " " + r.label,
+                    app.name, [cfg, app, o] {
+                        return runRateWorkload(cfg, app, o);
+                    });
+            }
         }
+    }
+    const std::vector<RunResult> res = runner.collectResults();
+
+    TextTable table({"ratio", "Cham-Opt cache-mode% (avg)",
+                     "Chameleon cache-mode% (avg)"});
+    std::size_t i = 0;
+    for (const Ratio &r : ratios) {
+        std::vector<double> opt_frac, cham_frac;
+        for (std::size_t a = 0; a < apps.size(); ++a)
+            opt_frac.push_back(res[i++].cacheModeFraction);
+        for (std::size_t a = 0; a < apps.size(); ++a)
+            cham_frac.push_back(res[i++].cacheModeFraction);
         table.addRow({r.label,
                       TextTable::fmt(100.0 * arithMean(opt_frac), 1),
                       TextTable::fmt(100.0 * arithMean(cham_frac),

@@ -30,17 +30,33 @@ main(int argc, char **argv)
         Design::ChameleonOpt};
     const auto apps = tableTwoSuite(opts.scale);
 
+    // Submit every (ratio x design x app) run up front so the whole
+    // figure fans across --jobs workers at once.
+    SweepRunner runner(opts);
     for (const Ratio &r : ratios) {
         BenchOptions o = opts;
         o.stackedFullGiB = r.stacked_gib;
         o.offchipFullGiB = r.offchip_gib;
-        std::vector<double> gms;
         for (Design d : designs) {
+            for (const AppProfile &app : apps) {
+                SystemConfig cfg = makeSystemConfig(d, o);
+                runner.submit(
+                    std::string(designLabel(d)) + " " + r.label,
+                    app.name, [cfg, app, o] {
+                        return runRateWorkload(cfg, app, o);
+                    });
+            }
+        }
+    }
+    const std::vector<RunResult> res = runner.collectResults();
+
+    std::size_t i = 0;
+    for (const Ratio &r : ratios) {
+        std::vector<double> gms;
+        for (std::size_t d = 0; d < designs.size(); ++d) {
             std::vector<double> ipc;
-            for (const AppProfile &app : apps)
-                ipc.push_back(
-                    runRateWorkload(makeSystemConfig(d, o), app, o)
-                        .ipcGeoMean);
+            for (std::size_t a = 0; a < apps.size(); ++a)
+                ipc.push_back(res[i++].ipcGeoMean);
             gms.push_back(geoMean(ipc));
         }
         TextTable table({"design", "normalized IPC"});

@@ -28,6 +28,7 @@ main(int argc, char **argv)
     std::vector<std::vector<std::string>> rows;
     for (const AppProfile &app : apps)
         rows.push_back({app.name});
+    SweepRunner runner(opts);
     for (std::size_t t = 0; t < 3; ++t) {
         for (std::size_t a = 0; a < apps.size(); ++a) {
             SystemConfig cfg =
@@ -35,7 +36,18 @@ main(int argc, char **argv)
             cfg.runAutoNuma = true;
             cfg.autonuma.threshold = thresholds[t];
             cfg.autonuma.epochCycles = 10'000'000 / opts.scale * 8;
-            const RunResult r = runRateWorkload(cfg, apps[a], opts);
+            runner.submit(
+                "autonuma-" + std::to_string(
+                    static_cast<int>(thresholds[t] * 100)),
+                apps[a].name, [cfg, app = apps[a], opts] {
+                    return runRateWorkload(cfg, app, opts);
+                });
+        }
+    }
+    const std::vector<RunResult> res = runner.collectResults();
+    for (std::size_t t = 0; t < 3; ++t) {
+        for (std::size_t a = 0; a < apps.size(); ++a) {
+            const RunResult &r = res[t * apps.size() + a];
             cols[t].push_back(100.0 * r.stackedHitRate);
             rows[a].push_back(TextTable::fmt(cols[t].back(), 1));
         }

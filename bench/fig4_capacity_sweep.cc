@@ -29,17 +29,25 @@ main(int argc, char **argv)
         apps.push_back(findProfile(suite, name));
 
     // makespan (geo-mean execution time) per capacity per app.
-    std::vector<std::vector<double>> exec_time(std::size(caps_gb));
+    SweepRunner runner(opts);
     for (std::size_t c = 0; c < std::size(caps_gb); ++c) {
         for (const AppProfile &app : apps) {
             BenchOptions o = opts;
             o.offchipFullGiB = caps_gb[c];
             SystemConfig cfg = makeSystemConfig(Design::FlatDdr, o);
-            const RunResult r = runRateWorkload(cfg, app, o);
-            exec_time[c].push_back(
-                static_cast<double>(r.makespan));
+            runner.submit("flat-ddr-" + std::to_string(caps_gb[c]) +
+                              "GB",
+                          app.name, [cfg, app, o] {
+                              return runRateWorkload(cfg, app, o);
+                          });
         }
     }
+    const std::vector<RunResult> res = runner.collectResults();
+    std::vector<std::vector<double>> exec_time(std::size(caps_gb));
+    for (std::size_t c = 0; c < std::size(caps_gb); ++c)
+        for (std::size_t a = 0; a < apps.size(); ++a)
+            exec_time[c].push_back(static_cast<double>(
+                res[c * apps.size() + a].makespan));
 
     TextTable table({"capacity", "%Imp (exec time vs 16GB)"});
     const double base = geoMean(exec_time[0]);

@@ -27,13 +27,26 @@ main(int argc, char **argv)
     for (const auto &name : highFootprintNames())
         apps.push_back(findProfile(suite, name));
 
-    TextTable table({"workload", "capacity", "faults", "util%"});
+    SweepRunner runner(opts);
     for (const AppProfile &app : apps) {
         for (std::size_t c = 0; c < std::size(caps_gb); ++c) {
             BenchOptions o = opts;
             o.offchipFullGiB = caps_gb[c];
             SystemConfig cfg = makeSystemConfig(Design::FlatDdr, o);
-            const RunResult r = runRateWorkload(cfg, app, o);
+            runner.submit("flat-ddr-" + std::to_string(caps_gb[c]) +
+                              "GB",
+                          app.name, [cfg, app, o] {
+                              return runRateWorkload(cfg, app, o);
+                          });
+        }
+    }
+    const std::vector<RunResult> res = runner.collectResults();
+
+    TextTable table({"workload", "capacity", "faults", "util%"});
+    std::size_t i = 0;
+    for (const AppProfile &app : apps) {
+        for (std::size_t c = 0; c < std::size(caps_gb); ++c) {
+            const RunResult &r = res[i++];
             table.addRow({app.name,
                           std::to_string(caps_gb[c]) + "GB",
                           std::to_string(r.majorFaults),

@@ -9,10 +9,16 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <unordered_map>
+#include <vector>
 
+#include "common/flat_map.hh"
+#include "common/log.hh"
 #include "common/rng.hh"
 #include "core/chameleon_opt.hh"
 #include "dram/dram_device.hh"
+#include "sim/experiment.hh"
+#include "sim/sweep_runner.hh"
 #include "workloads/profile.hh"
 #include "workloads/stream_gen.hh"
 
@@ -90,6 +96,113 @@ BM_IsaAllocFreeCycle(benchmark::State &state)
     state.SetItemsProcessed(2 * state.iterations());
 }
 BENCHMARK(BM_IsaAllocFreeCycle);
+
+namespace
+{
+
+/** Block-store key mix matching the functional layer: 64B-aligned
+ *  device locations, some offset into the off-chip range. */
+std::vector<Addr>
+blockStoreKeys(std::size_t n)
+{
+    Rng rng(7);
+    std::vector<Addr> keys;
+    keys.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Addr a = rng.below(n * 4) * 64;
+        if (i % 3 == 0)
+            a += 1ull << 48; // off-chip location encoding
+        keys.push_back(a);
+    }
+    return keys;
+}
+
+} // namespace
+
+/** Baseline: the sparse block store as std::unordered_map (what the
+ *  functional layer used before FlatMap). */
+static void
+BM_BlockStoreUnorderedMap(benchmark::State &state)
+{
+    const auto keys = blockStoreKeys(1 << 18);
+    std::unordered_map<Addr, std::uint64_t> map;
+    map.reserve(keys.size());
+    for (Addr k : keys)
+        map[k] = k;
+    Rng rng(11);
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        auto it = map.find(keys[rng.below(keys.size())]);
+        if (it != map.end())
+            sum += it->second;
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockStoreUnorderedMap);
+
+/** The replacement: FlatMap lookups on the same key mix. */
+static void
+BM_BlockStoreFlatMap(benchmark::State &state)
+{
+    const auto keys = blockStoreKeys(1 << 18);
+    FlatMap<Addr, std::uint64_t> map;
+    map.reserve(keys.size());
+    for (Addr k : keys)
+        map[k] = k;
+    Rng rng(11);
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        auto it = map.find(keys[rng.below(keys.size())]);
+        if (it != map.end())
+            sum += it->second;
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockStoreFlatMap);
+
+/**
+ * Fig 18-style miniature sweep (3 designs x 3 apps) through the
+ * SweepRunner; Arg = --jobs. Comparing /1 against /N is the
+ * wall-clock speedup the parallel engine buys on this machine.
+ */
+static void
+BM_Fig18StyleSweep(benchmark::State &state)
+{
+    setQuiet(true); // sweep chatter would swamp the bench output
+    BenchOptions opts;
+    opts.scale = 512;
+    opts.instrPerCore = 20'000;
+    opts.minRefsPerCore = 2'000;
+    opts.jobs = static_cast<unsigned>(state.range(0));
+
+    const auto suite = tableTwoSuite(opts.scale);
+    const Design designs[] = {Design::FlatDdr, Design::Pom,
+                              Design::ChameleonOpt};
+    const char *names[] = {"lbm", "mcf", "stream"};
+
+    for (auto _ : state) {
+        SweepRunner runner(opts);
+        for (Design d : designs) {
+            for (const char *n : names) {
+                const AppProfile &app = findProfile(suite, n);
+                SystemConfig cfg = makeSystemConfig(d, opts);
+                runner.submit(designLabel(d), n, [cfg, app, opts] {
+                    return runRateWorkload(cfg, app, opts);
+                });
+            }
+        }
+        const auto res = runner.collectResults();
+        benchmark::DoNotOptimize(res.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 9);
+}
+BENCHMARK(BM_Fig18StyleSweep)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)
+    ->Arg(0) // 0 = auto: one worker per hardware thread
+    ->Iterations(2);
 
 static void
 BM_StreamGen(benchmark::State &state)

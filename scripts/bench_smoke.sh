@@ -1,0 +1,36 @@
+#!/bin/sh
+# Smoke-test the parallel experiment engine end-to-end: run a tiny
+# figure sweep under --jobs 4, check it exits cleanly, emits the
+# expected table, and writes a parseable --json result file. Wired
+# into CTest (bench/CMakeLists.txt) so a parallelism regression fails
+# tier-1 instead of only showing up in long bench runs.
+#
+# Usage: bench_smoke.sh <path-to-fig15_hitrate-binary>
+set -eu
+
+BENCH="${1:?usage: bench_smoke.sh <fig15_hitrate binary>}"
+OUT="$(mktemp /tmp/bench_smoke.XXXXXX.txt)"
+JSON="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
+trap 'rm -f "$OUT" "$JSON"' EXIT
+
+"$BENCH" --scale 256 --instr 50000 --refs 2000 \
+    --jobs 4 --json "$JSON" --quiet > "$OUT"
+
+grep -q "Fig 15" "$OUT" || {
+    echo "bench_smoke: banner missing from output" >&2
+    exit 1
+}
+grep -q "Average" "$OUT" || {
+    echo "bench_smoke: summary row missing from output" >&2
+    exit 1
+}
+# The JSON file must be a non-empty array with per-run wall clocks.
+grep -q '"wall_seconds"' "$JSON" || {
+    echo "bench_smoke: --json output lacks per-run records" >&2
+    exit 1
+}
+grep -q '"jobs": 4' "$JSON" || {
+    echo "bench_smoke: --json output lacks the jobs count" >&2
+    exit 1
+}
+echo "bench_smoke: OK"

@@ -3,6 +3,8 @@
  * Generic set-associative, write-back / write-allocate SRAM cache model
  * with pluggable replacement (LRU, random, SRRIP). Used for the private
  * L1/L2 and the shared L3 of Table I.
+ *
+ * Thread-compatible, not thread-safe; owned by a single System.
  */
 
 #ifndef CHAMELEON_CACHE_CACHE_HH

@@ -1,7 +1,9 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace chameleon
@@ -10,11 +12,21 @@ namespace chameleon
 namespace
 {
 
-bool quietMode = false;
+std::atomic<bool> quietMode{false};
+
+/**
+ * Serializes whole report lines: parallel sweep workers (see
+ * sim/sweep_runner.hh) call warn()/inform() concurrently, and
+ * interleaved half-lines would make the output useless. These two
+ * are the only mutable globals in the simulator (verified by the
+ * thread-safety audit); everything else hangs off a System.
+ */
+std::mutex reportMutex;
 
 void
 vreport(const char *tag, const char *fmt, va_list ap)
 {
+    std::lock_guard<std::mutex> lock(reportMutex);
     std::fprintf(stderr, "%s: ", tag);
     std::vfprintf(stderr, fmt, ap);
     std::fputc('\n', stderr);

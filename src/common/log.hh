@@ -3,6 +3,12 @@
  * gem5-style status/error reporting. panic() is for internal simulator
  * bugs (aborts); fatal() is for user/configuration errors (clean exit);
  * warn()/inform() report conditions without stopping the simulation.
+ *
+ * Thread-safe: parallel sweep workers may report concurrently, so a
+ * single mutex serializes whole lines (no interleaving) and the quiet
+ * flag is atomic. This is the only simulator component that is more
+ * than thread-compatible — everything else is owned by one System and
+ * must not be shared across runner threads.
  */
 
 #ifndef CHAMELEON_COMMON_LOG_HH

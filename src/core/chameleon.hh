@@ -18,6 +18,8 @@
  * stacked physical slot when the freed stacked segment is currently
  * remapped off-chip. Segments transitioning between cache and PoM use
  * are cleared to prevent cross-process information leaks (§V-D2).
+ *
+ * Thread-compatible, not thread-safe: one instance per System.
  */
 
 #ifndef CHAMELEON_CORE_CHAMELEON_HH

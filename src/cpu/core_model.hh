@@ -10,6 +10,9 @@
  * memory bandwidth but do not block retirement). Page faults block
  * the core outright, matching the uninterruptible "D" state the
  * paper's Fig 5 analysis describes.
+ *
+ * Thread-compatible, not thread-safe: cores belong to one System and
+ * its thread.
  */
 
 #ifndef CHAMELEON_CPU_CORE_MODEL_HH

@@ -4,14 +4,19 @@
  * page-walk charge on misses. Off by default in the figure sweeps
  * (translation effects are orthogonal to the memory-organization
  * comparison) but exercised by the full-hierarchy mode and tests.
+ * The VPN table is a FlatMap pre-reserved to the entry count, so
+ * lookup — one per memory reference — never allocates.
+ *
+ * Thread-compatible, not thread-safe: one TLB per simulated core,
+ * never shared across sweep-runner threads.
  */
 
 #ifndef CHAMELEON_CPU_TLB_HH
 #define CHAMELEON_CPU_TLB_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 
 namespace chameleon
@@ -30,7 +35,11 @@ struct TlbConfig
 class Tlb
 {
   public:
-    explicit Tlb(const TlbConfig &config = TlbConfig()) : cfg(config) {}
+    explicit Tlb(const TlbConfig &config = TlbConfig()) : cfg(config)
+    {
+        // Capacity is bounded by cfg.entries; size once, up front.
+        entries.reserve(cfg.entries + 1);
+    }
 
     /**
      * Look up @p vaddr; returns the stall (0 on hit, walkLatency on
@@ -78,7 +87,7 @@ class Tlb
     }
 
     TlbConfig cfg;
-    std::unordered_map<Addr, std::uint64_t> entries;
+    FlatMap<Addr, std::uint64_t> entries;
     std::uint64_t tick = 0;
     std::uint64_t hitCount = 0;
     std::uint64_t missCount = 0;

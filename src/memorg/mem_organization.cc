@@ -75,15 +75,26 @@ MemOrganization::functionalRead(Addr phys)
 }
 
 void
+MemOrganization::reserveFunctional(std::uint64_t footprint_bytes)
+{
+    if (!functionalOn)
+        return;
+    blockData.reserve(footprint_bytes / 64);
+}
+
+void
 MemOrganization::funcMove(Addr src_loc, Addr dst_loc, std::uint64_t bytes)
 {
     if (!functionalOn)
         return;
+    // FlatMap iterators do not survive inserts (slots relocate on
+    // rehash), so copy values out before touching the table.
     for (std::uint64_t off = 0; off < bytes; off += 64) {
         auto it = blockData.find(src_loc + off);
         if (it != blockData.end()) {
-            blockData[dst_loc + off] = it->second;
+            const std::uint64_t v = it->second;
             blockData.erase(it);
+            blockData[dst_loc + off] = v;
         } else {
             blockData.erase(dst_loc + off);
         }
@@ -97,10 +108,12 @@ MemOrganization::funcCopy(Addr src_loc, Addr dst_loc, std::uint64_t bytes)
         return;
     for (std::uint64_t off = 0; off < bytes; off += 64) {
         auto it = blockData.find(src_loc + off);
-        if (it != blockData.end())
-            blockData[dst_loc + off] = it->second;
-        else
+        if (it != blockData.end()) {
+            const std::uint64_t v = it->second;
+            blockData[dst_loc + off] = v;
+        } else {
             blockData.erase(dst_loc + off);
+        }
     }
 }
 
@@ -111,17 +124,21 @@ MemOrganization::funcSwap(Addr loc_a, Addr loc_b, std::uint64_t bytes)
         return;
     for (std::uint64_t off = 0; off < bytes; off += 64) {
         auto ia = blockData.find(loc_a + off);
-        auto ib = blockData.find(loc_b + off);
         const bool has_a = ia != blockData.end();
+        const std::uint64_t va = has_a ? ia->second : 0;
+        auto ib = blockData.find(loc_b + off);
         const bool has_b = ib != blockData.end();
+        const std::uint64_t vb = has_b ? ib->second : 0;
         if (has_a && has_b) {
-            std::swap(ia->second, ib->second);
+            // find() never rehashes, so both iterators are valid.
+            ia->second = vb;
+            ib->second = va;
         } else if (has_a) {
-            blockData[loc_b + off] = ia->second;
             blockData.erase(loc_a + off);
+            blockData[loc_b + off] = va;
         } else if (has_b) {
-            blockData[loc_a + off] = ib->second;
             blockData.erase(loc_b + off);
+            blockData[loc_a + off] = vb;
         }
     }
 }

@@ -11,7 +11,12 @@
  * (not OS-visible address). Data physically moves when the controller
  * swaps, fills, writes back or clears segments, so tests can verify
  * against a shadow memory that no remapping path ever loses or leaks
- * bytes. Timing-only runs leave it disabled for speed.
+ * bytes. Timing-only runs leave it disabled for speed. The store is a
+ * FlatMap (open addressing, one probe per 64B access in the common
+ * case) because it sits on the per-reference hot path.
+ *
+ * Thread-compatible, not thread-safe: each parallel sweep run owns
+ * its organization; never share one across SweepRunner workers.
  */
 
 #ifndef CHAMELEON_MEMORG_MEM_ORGANIZATION_HH
@@ -19,8 +24,8 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 #include "dram/dram_device.hh"
 #include "os/isa_hooks.hh"
@@ -114,6 +119,13 @@ class MemOrganization : public IsaListener
     bool functionalEnabled() const { return functionalOn; }
 
     /**
+     * Pre-size the functional store for a workload touching
+     * @p footprint_bytes, so the hot path never rehashes mid-run.
+     * No-op while the layer is disabled.
+     */
+    void reserveFunctional(std::uint64_t footprint_bytes);
+
+    /**
      * Functionally store @p value at OS-visible address @p phys
      * (64B-block granularity; the block's current device location is
      * resolved through the organization's mapping).
@@ -168,7 +180,7 @@ class MemOrganization : public IsaListener
 
   private:
     bool functionalOn = false;
-    std::unordered_map<Addr, std::uint64_t> blockData;
+    FlatMap<Addr, std::uint64_t> blockData;
 };
 
 } // namespace chameleon

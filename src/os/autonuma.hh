@@ -23,9 +23,9 @@
 #define CHAMELEON_OS_AUTONUMA_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 #include "os/mini_os.hh"
 
@@ -62,7 +62,12 @@ struct AutoNumaEpoch
     }
 };
 
-/** The balancing daemon. One instance per MiniOs. */
+/**
+ * The balancing daemon. One instance per MiniOs.
+ *
+ * Thread-compatible, not thread-safe: owned by one System; parallel
+ * sweep runs each carry their own daemon.
+ */
 class AutoNuma
 {
   public:
@@ -108,7 +113,11 @@ class AutoNuma
     AutoNumaConfig cfg;
     Cycle epochStart = 0;
     AutoNumaEpoch current;
-    std::unordered_map<PageKey, std::uint32_t, PageKeyHash> remoteHot;
+    /** Per-epoch remote-access counters; touched on every remote
+     *  reference, hence the flat open-addressing table. The raw
+     *  PageKeyHash is identity-like, so FlatHash remixes it. */
+    FlatMap<PageKey, std::uint32_t, FlatHash<PageKey, PageKeyHash>>
+        remoteHot;
     std::vector<AutoNumaEpoch> history;
     std::uint64_t migrationsTotal = 0;
 };

@@ -11,6 +11,9 @@
  * second-chance scan evicts a resident page to swap and the faulting
  * access pays the Table I page-fault latency (100K cycles, SSD);
  * every frame allocation/free emits per-segment ISA notifications.
+ *
+ * Thread-compatible, not thread-safe: one MiniOs per System, never
+ * shared across parallel sweep runs.
  */
 
 #ifndef CHAMELEON_OS_MINI_OS_HH

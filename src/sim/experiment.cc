@@ -35,13 +35,29 @@ parseBenchArgs(int argc, char **argv)
             opts.stackedFullGiB = next_val();
         } else if (flag == "--offchip-gib") {
             opts.offchipFullGiB = next_val();
+        } else if (flag == "--jobs") {
+            const std::uint64_t n = next_val();
+            if (n == 0)
+                fatal("--jobs must be at least 1 (use --jobs 1 for "
+                      "a sequential run)");
+            if (n > 4096)
+                fatal("--jobs %llu is not plausible (max 4096)",
+                      static_cast<unsigned long long>(n));
+            opts.jobs = static_cast<unsigned>(n);
+        } else if (flag == "--json") {
+            if (i + 1 >= argc)
+                fatal("missing value for --json");
+            opts.jsonPath = argv[++i];
+            if (opts.jsonPath.empty())
+                fatal("--json requires a non-empty path");
         } else if (flag == "--quiet") {
             setQuiet(true);
         } else if (flag == "--help") {
             std::fprintf(
                 stderr,
                 "flags: --scale N --instr N --refs N --seed N "
-                "--stacked-gib N --offchip-gib N --quiet\n");
+                "--stacked-gib N --offchip-gib N --jobs N "
+                "--json PATH --quiet\n");
             std::exit(0);
         } else if (flag.rfind("--benchmark", 0) == 0) {
             // Tolerate google-benchmark runner flags.
@@ -52,6 +68,13 @@ parseBenchArgs(int argc, char **argv)
     }
     if (opts.scale == 0)
         fatal("--scale must be positive");
+    if (opts.offchipFullGiB == 0)
+        fatal("--offchip-gib must be positive (the off-chip pool "
+              "is mandatory)");
+    if (opts.instrPerCore == 0 && opts.minRefsPerCore == 0)
+        fatal("--instr 0 with --refs 0 leaves nothing to run");
+    if (opts.warmupFrac < 0.0)
+        fatal("--warmup-frac must be non-negative");
     return opts;
 }
 
@@ -70,10 +93,18 @@ makeSystemConfig(Design design, const BenchOptions &opts)
 std::uint64_t
 effectiveInstructions(const AppProfile &profile, const BenchOptions &opts)
 {
+    if (profile.llcMpki <= 0.0)
+        fatal("profile %s has non-positive MPKI %.3f; cannot derive "
+              "an instruction count from --refs",
+              profile.name.c_str(), profile.llcMpki);
     const auto by_refs = static_cast<std::uint64_t>(
         static_cast<double>(opts.minRefsPerCore) * 1000.0 /
         profile.llcMpki);
-    return std::max(opts.instrPerCore, by_refs);
+    const std::uint64_t instr = std::max(opts.instrPerCore, by_refs);
+    if (instr == 0)
+        fatal("effective instruction count is zero for %s "
+              "(raise --instr or --refs)", profile.name.c_str());
+    return instr;
 }
 
 RunResult

@@ -10,6 +10,10 @@
  *   --refs N    minimum memory references per core (default 40,000;
  *               raises the instruction count for low-MPKI apps)
  *   --seed N    RNG seed (default 1)
+ *   --jobs N    parallel runs in the sweep grid (default: one per
+ *               hardware thread; 1 = sequential, bit-identical to
+ *               the pre-parallel benches)
+ *   --json P    write per-run metrics to P as a JSON array
  *   --quiet     suppress warn/inform chatter
  */
 
@@ -37,6 +41,13 @@ struct BenchOptions
     /** Capacity split, full-scale GiB (Table I default 4 + 20). */
     std::uint64_t stackedFullGiB = 4;
     std::uint64_t offchipFullGiB = 20;
+    /**
+     * Worker threads for sweep grids (SweepRunner). 0 = auto-detect
+     * (hardware_concurrency); an explicit --jobs 0 is fatal.
+     */
+    unsigned jobs = 0;
+    /** Destination for per-run JSON metrics; empty = disabled. */
+    std::string jsonPath;
 };
 
 /** Parse the common bench flags; unknown flags are fatal. */

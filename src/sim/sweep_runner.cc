@@ -1,0 +1,213 @@
+#include "sim/sweep_runner.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace chameleon
+{
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+SweepRunner::SweepRunner(const BenchOptions &options)
+    : opts(options), workerCount(resolveJobs(options.jobs))
+{
+}
+
+SweepRunner::~SweepRunner()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        shutdown = true;
+    }
+    cv.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+std::size_t
+SweepRunner::submit(std::string design, std::string app,
+                    std::function<RunResult()> job)
+{
+    std::size_t index;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (collected)
+            panic("SweepRunner: submit() after collect()");
+        index = queue.size();
+        queue.push_back(Pending{std::move(job)});
+        records.push_back(SweepRecord{std::move(design),
+                                      std::move(app), RunResult{},
+                                      0.0});
+        errors.emplace_back();
+    }
+
+    if (workerCount <= 1) {
+        // Sequential mode: run inline right now, exactly as the
+        // pre-parallel benches did (same order, same thread).
+        nextJob = index + 1;
+        runJob(index);
+        return index;
+    }
+
+    // Lazily start workers on first submission, never more than the
+    // job count so tiny grids don't spawn idle threads.
+    if (workers.size() < workerCount) {
+        std::lock_guard<std::mutex> lock(mtx);
+        while (workers.size() < workerCount &&
+               workers.size() < queue.size())
+            workers.emplace_back([this] { workerLoop(); });
+    }
+    cv.notify_one();
+    return index;
+}
+
+void
+SweepRunner::runJob(std::size_t index)
+{
+    // The vectors may reallocate under concurrent submit(); touch
+    // them only while holding the lock, never during the run itself.
+    std::function<RunResult()> job;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        job = std::move(queue[index].job);
+        queue[index].job = nullptr;
+    }
+
+    RunResult result;
+    std::exception_ptr error;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        result = job();
+    } catch (...) {
+        error = std::current_exception();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        records[index].result = std::move(result);
+        records[index].wallSeconds =
+            std::chrono::duration<double>(t1 - t0).count();
+        errors[index] = error;
+    }
+}
+
+void
+SweepRunner::workerLoop()
+{
+    while (true) {
+        std::size_t index;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cv.wait(lock, [this] {
+                return shutdown || nextJob < queue.size();
+            });
+            if (nextJob >= queue.size()) {
+                if (shutdown)
+                    return;
+                continue;
+            }
+            index = nextJob++;
+        }
+        runJob(index);
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            ++doneCount;
+        }
+        cv.notify_all();
+    }
+}
+
+std::vector<SweepRecord>
+SweepRunner::collect()
+{
+    if (workerCount > 1) {
+        std::unique_lock<std::mutex> lock(mtx);
+        cv.wait(lock,
+                [this] { return doneCount == queue.size(); });
+    }
+    collected = true;
+
+    for (const std::exception_ptr &e : errors)
+        if (e)
+            std::rethrow_exception(e);
+
+    if (!opts.jsonPath.empty())
+        writeSweepJson(opts.jsonPath, records, opts, workerCount);
+    return std::move(records);
+}
+
+std::vector<RunResult>
+SweepRunner::collectResults()
+{
+    std::vector<RunResult> out;
+    for (SweepRecord &rec : collect())
+        out.push_back(std::move(rec.result));
+    return out;
+}
+
+namespace
+{
+
+/** Escape the handful of characters JSON forbids in strings. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20)
+            continue;
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeSweepJson(const std::string &path,
+               const std::vector<SweepRecord> &recs,
+               const BenchOptions &opts, unsigned jobs_used)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("--json: cannot open %s for writing", path.c_str());
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        const SweepRecord &r = recs[i];
+        std::fprintf(
+            f,
+            "  {\"design\": \"%s\", \"app\": \"%s\", "
+            "\"seed\": %llu, \"jobs\": %u, "
+            "\"ipc\": %.6f, \"hit_rate\": %.6f, "
+            "\"swaps\": %llu, \"fills\": %llu, "
+            "\"amal\": %.3f, \"instructions\": %llu, "
+            "\"mem_refs\": %llu, \"wall_seconds\": %.6f}%s\n",
+            jsonEscape(r.design).c_str(), jsonEscape(r.app).c_str(),
+            static_cast<unsigned long long>(opts.seed), jobs_used,
+            r.result.ipcGeoMean, r.result.stackedHitRate,
+            static_cast<unsigned long long>(r.result.swaps),
+            static_cast<unsigned long long>(r.result.fills),
+            r.result.amal,
+            static_cast<unsigned long long>(r.result.instructions),
+            static_cast<unsigned long long>(r.result.memRefs),
+            r.wallSeconds, i + 1 < recs.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+}
+
+} // namespace chameleon

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Deterministic parallel experiment engine for the figure sweeps.
+ *
+ * Every bench grid is a set of fully independent jobs: each run owns
+ * its own System (and therefore its own seeded RNG, DRAM state and
+ * stats), so (design x workload x seed) cells can execute on any
+ * thread in any order without changing a single counter. SweepRunner
+ * exploits that: jobs are submitted in grid order, fanned across a
+ * fixed pool of std::thread workers pulling from one shared queue (no
+ * work stealing — the queue is the only scheduler), and results are
+ * returned in *submission* order regardless of completion order, so
+ * downstream table/geomean code is byte-identical to the sequential
+ * version. Exceptions thrown by a job are captured and rethrown from
+ * collect() in submission order.
+ *
+ * With jobs == 1 the runner executes each job inline at submit time
+ * on the calling thread — bit-for-bit the pre-parallel behaviour.
+ *
+ * The runner itself is internally synchronized; the simulator objects
+ * inside each job remain thread-compatible, not thread-safe (one
+ * System per job, never shared).
+ */
+
+#ifndef CHAMELEON_SIM_SWEEP_RUNNER_HH
+#define CHAMELEON_SIM_SWEEP_RUNNER_HH
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+
+namespace chameleon
+{
+
+/** One completed cell: labels for reporting plus the run outcome. */
+struct SweepRecord
+{
+    std::string design;
+    std::string app;
+    RunResult result;
+    /** Wall-clock seconds this single run took. */
+    double wallSeconds = 0.0;
+};
+
+/** Resolve a --jobs request: 0 = auto (hardware_concurrency). */
+unsigned resolveJobs(unsigned requested);
+
+/** Fan-out runner for independent RunResult jobs. */
+class SweepRunner
+{
+  public:
+    /** Worker count and --json destination come from @p opts. */
+    explicit SweepRunner(const BenchOptions &opts);
+    ~SweepRunner();
+
+    SweepRunner(const SweepRunner &) = delete;
+    SweepRunner &operator=(const SweepRunner &) = delete;
+
+    /**
+     * Enqueue one run; @p design / @p app label the row in reports
+     * and --json output. Returns the job's submission index, which is
+     * also its index in collect()'s result vector.
+     */
+    std::size_t submit(std::string design, std::string app,
+                       std::function<RunResult()> job);
+
+    /**
+     * Wait for every submitted job, write the --json file if one was
+     * requested, and return the records in submission order. The
+     * first job exception (by submission index) is rethrown. Callable
+     * once; submit() must not be called afterwards.
+     */
+    std::vector<SweepRecord> collect();
+
+    /** Convenience: collect() keeping only the RunResults. */
+    std::vector<RunResult> collectResults();
+
+    unsigned jobs() const { return workerCount; }
+
+  private:
+    void workerLoop();
+    void runJob(std::size_t index);
+
+    struct Pending
+    {
+        std::function<RunResult()> job;
+    };
+
+    BenchOptions opts;
+    unsigned workerCount;
+
+    std::mutex mtx;
+    std::condition_variable cv;
+    std::vector<Pending> queue;
+    std::size_t nextJob = 0;
+    std::size_t doneCount = 0;
+    bool shutdown = false;
+
+    std::vector<SweepRecord> records;
+    std::vector<std::exception_ptr> errors;
+    std::vector<std::thread> workers;
+    bool collected = false;
+};
+
+/**
+ * Append every record as one JSON object to @p path (JSON array
+ * document). Fields: design, app, seed, jobs, ipc, hit_rate, swaps,
+ * fills, amal, wall_seconds. Used by --json; exposed for tests.
+ */
+void writeSweepJson(const std::string &path,
+                    const std::vector<SweepRecord> &recs,
+                    const BenchOptions &opts, unsigned jobs_used);
+
+} // namespace chameleon
+
+#endif // CHAMELEON_SIM_SWEEP_RUNNER_HH

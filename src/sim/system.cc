@@ -146,6 +146,10 @@ System::loadTraceWorkload(const std::vector<std::string> &paths)
         procs.push_back(pid);
         streams.push_back(std::move(stream));
     }
+    std::uint64_t total = 0;
+    for (const auto &s : streams)
+        total += s->footprint();
+    org->reserveFunctional(total);
 }
 
 void
@@ -166,6 +170,10 @@ System::loadPerCoreWorkloads(const std::vector<AppProfile> &profiles)
         streams.push_back(std::make_unique<SyntheticStream>(
             p, p.footprintBytes, cfg.seed * 1000003 + c));
     }
+    std::uint64_t total = 0;
+    for (const AppProfile &p : profiles)
+        total += p.footprintBytes;
+    org->reserveFunctional(total);
 }
 
 void

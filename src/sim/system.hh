@@ -107,7 +107,14 @@ struct RunResult
     Cycle makespan = 0;
 };
 
-/** The simulated machine. */
+/**
+ * The simulated machine.
+ *
+ * Thread-compatible, not thread-safe: a System and everything it owns
+ * (devices, organization, OS, cores, streams) must stay on a single
+ * thread. Parallel sweeps (sim/sweep_runner.hh) construct one System
+ * per run; nothing is shared between runs except the log mutex.
+ */
 class System
 {
   public:

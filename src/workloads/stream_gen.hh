@@ -11,6 +11,9 @@
  * exact by construction and makes multi-configuration sweeps cheap;
  * the SRAM hierarchy (src/cache) is exercised separately by the
  * full-hierarchy mode, tests and examples.
+ *
+ * Thread-compatible, not thread-safe: each stream (and its Rng) is
+ * owned by one core of one System.
  */
 
 #ifndef CHAMELEON_WORKLOADS_STREAM_GEN_HH

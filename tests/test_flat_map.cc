@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit tests for the open-addressing FlatMap that backs the hot-path
+ * block stores: insert/find/erase semantics, growth across the load
+ * threshold, tombstone reuse after heavy erasure, and full parity
+ * with std::unordered_map under a randomized operation mix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flat_map.hh"
+#include "common/rng.hh"
+
+using namespace chameleon;
+
+TEST(FlatMap, StartsEmpty)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(42), m.end());
+    EXPECT_FALSE(m.contains(42));
+    EXPECT_EQ(m.erase(42), 0u);
+}
+
+TEST(FlatMap, InsertFindErase)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    m[64] = 1;
+    m[128] = 2;
+    m[192] = 3;
+    EXPECT_EQ(m.size(), 3u);
+    ASSERT_NE(m.find(128), m.end());
+    EXPECT_EQ(m.find(128)->second, 2u);
+    EXPECT_TRUE(m.contains(64));
+
+    EXPECT_EQ(m.erase(128), 1u);
+    EXPECT_EQ(m.size(), 2u);
+    EXPECT_EQ(m.find(128), m.end());
+    // Erase must not break probe chains for keys past the hole.
+    EXPECT_EQ(m.find(64)->second, 1u);
+    EXPECT_EQ(m.find(192)->second, 3u);
+}
+
+TEST(FlatMap, OperatorBracketUpdatesInPlace)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    m[7] = 1;
+    m[7] = 2;
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_EQ(m.find(7)->second, 2u);
+    ++m[7];
+    EXPECT_EQ(m.find(7)->second, 3u);
+}
+
+TEST(FlatMap, EmplaceReportsInsertion)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    auto [it1, fresh1] = m.emplace(5, 50);
+    EXPECT_TRUE(fresh1);
+    EXPECT_EQ(it1->second, 50u);
+    auto [it2, fresh2] = m.emplace(5, 99);
+    EXPECT_FALSE(fresh2);
+    EXPECT_EQ(it2->second, 50u) << "emplace must not overwrite";
+}
+
+TEST(FlatMap, GrowsPastInitialCapacity)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    // Far beyond the 16-slot minimum: force repeated rehashes with
+    // the stride-64 keys the block stores use.
+    for (std::uint64_t i = 0; i < 10'000; ++i)
+        m[i * 64] = i;
+    EXPECT_EQ(m.size(), 10'000u);
+    for (std::uint64_t i = 0; i < 10'000; ++i) {
+        auto it = m.find(i * 64);
+        ASSERT_NE(it, m.end()) << "lost key " << i * 64;
+        EXPECT_EQ(it->second, i);
+    }
+}
+
+TEST(FlatMap, ReservePreventsGrowth)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    m.reserve(1000);
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        m[i] = i;
+    EXPECT_EQ(m.size(), 1000u);
+}
+
+TEST(FlatMap, TombstonesAreReused)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    // Churn far more keys through the table than its stable size;
+    // tombstone recycling must keep lookups correct throughout.
+    for (std::uint64_t round = 0; round < 200; ++round) {
+        for (std::uint64_t i = 0; i < 64; ++i)
+            m[round * 64 + i] = round;
+        for (std::uint64_t i = 0; i < 64; ++i)
+            EXPECT_EQ(m.erase(round * 64 + i), 1u);
+    }
+    EXPECT_EQ(m.size(), 0u);
+    m[12345] = 1;
+    EXPECT_EQ(m.find(12345)->second, 1u);
+}
+
+TEST(FlatMap, ClearKeepsWorking)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    for (std::uint64_t i = 0; i < 100; ++i)
+        m[i] = i;
+    m.clear();
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.begin(), m.end());
+    m[3] = 33;
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_EQ(m.find(3)->second, 33u);
+}
+
+TEST(FlatMap, IterationVisitsEveryEntryOnce)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    for (std::uint64_t i = 0; i < 500; ++i)
+        m[i * 7919] = i;
+    std::vector<std::uint64_t> seen;
+    for (const auto &kv : m)
+        seen.push_back(kv.first);
+    EXPECT_EQ(seen.size(), 500u);
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(FlatMap, EraseByIteratorAdvances)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m;
+    for (std::uint64_t i = 0; i < 10; ++i)
+        m[i] = i;
+    // Erase everything via iterators, unordered_map-style.
+    auto it = m.begin();
+    while (it != m.end())
+        it = m.erase(it);
+    EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(FlatMap, ParityWithUnorderedMapUnderRandomOps)
+{
+    FlatMap<std::uint64_t, std::uint64_t> flat;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    Rng rng(99);
+    // Key space small enough that inserts, updates, hits, misses and
+    // erases all occur; 64B-aligned like the block stores.
+    for (int op = 0; op < 200'000; ++op) {
+        const std::uint64_t key = rng.below(4096) * 64;
+        switch (rng.below(4)) {
+          case 0:
+          case 1: {
+            const std::uint64_t v = rng.next();
+            flat[key] = v;
+            ref[key] = v;
+            break;
+          }
+          case 2: {
+            auto fit = flat.find(key);
+            auto rit = ref.find(key);
+            ASSERT_EQ(fit != flat.end(), rit != ref.end());
+            if (rit != ref.end())
+                ASSERT_EQ(fit->second, rit->second);
+            break;
+          }
+          case 3:
+            ASSERT_EQ(flat.erase(key), ref.erase(key));
+            break;
+        }
+        ASSERT_EQ(flat.size(), ref.size());
+    }
+    // Final sweep: identical contents, both directions.
+    for (const auto &kv : ref) {
+        auto it = flat.find(kv.first);
+        ASSERT_NE(it, flat.end());
+        ASSERT_EQ(it->second, kv.second);
+    }
+    std::size_t n = 0;
+    for (const auto &kv : flat) {
+        auto it = ref.find(kv.first);
+        ASSERT_NE(it, ref.end());
+        ASSERT_EQ(it->second, kv.second);
+        ++n;
+    }
+    ASSERT_EQ(n, ref.size());
+}
+
+TEST(FlatMap, CustomKeyTypeWithAdaptedHash)
+{
+    struct Key
+    {
+        std::uint32_t pid;
+        std::uint64_t vpn;
+        bool operator==(const Key &o) const
+        {
+            return pid == o.pid && vpn == o.vpn;
+        }
+    };
+    struct RawHash
+    {
+        std::size_t operator()(const Key &k) const
+        {
+            return (static_cast<std::uint64_t>(k.pid) << 40) ^ k.vpn;
+        }
+    };
+    FlatMap<Key, std::uint32_t, FlatHash<Key, RawHash>> m;
+    for (std::uint32_t pid = 0; pid < 8; ++pid)
+        for (std::uint64_t vpn = 0; vpn < 64; ++vpn)
+            ++m[{pid, vpn}];
+    EXPECT_EQ(m.size(), 8u * 64u);
+    EXPECT_EQ(m.find({3, 17})->second, 1u);
+}

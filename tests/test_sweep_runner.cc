@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for the parallel experiment engine: submission-order results,
+ * the headline determinism guarantee (--jobs 1 and --jobs 8 produce
+ * identical stats for identical seeds), exception propagation, the
+ * --jobs/--json flag plumbing, and the JSON result file format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "sim/sweep_runner.hh"
+
+using namespace chameleon;
+
+namespace
+{
+
+BenchOptions
+tinyOpts(unsigned jobs)
+{
+    BenchOptions o;
+    o.scale = 512;
+    o.instrPerCore = 20'000;
+    o.minRefsPerCore = 2'000;
+    o.warmupFrac = 0.5;
+    o.jobs = jobs;
+    return o;
+}
+
+AppProfile
+testApp()
+{
+    AppProfile p;
+    p.name = "sweepapp";
+    p.llcMpki = 25.0;
+    p.footprintBytes = 18_GiB / 512;
+    p.hotFraction = 0.05;
+    p.hotProbability = 0.9;
+    p.seqRunBlocks = 16.0;
+    p.writeFraction = 0.3;
+    return p;
+}
+
+/** Run the same 3-design grid under @p jobs workers. */
+std::vector<SweepRecord>
+runGrid(unsigned jobs)
+{
+    const BenchOptions opts = tinyOpts(jobs);
+    const AppProfile app = testApp();
+    SweepRunner runner(opts);
+    for (Design d : {Design::Pom, Design::Chameleon,
+                     Design::ChameleonOpt}) {
+        for (std::uint64_t seed : {1ull, 2ull}) {
+            BenchOptions o = opts;
+            o.seed = seed;
+            SystemConfig cfg = makeSystemConfig(d, o);
+            runner.submit(designLabel(d), app.name, [cfg, app, o] {
+                return runRateWorkload(cfg, app, o);
+            });
+        }
+    }
+    return runner.collect();
+}
+
+} // namespace
+
+TEST(SweepRunner, ResolveJobs)
+{
+    EXPECT_EQ(resolveJobs(1), 1u);
+    EXPECT_EQ(resolveJobs(7), 7u);
+    EXPECT_GE(resolveJobs(0), 1u) << "auto-detect never yields 0";
+}
+
+TEST(SweepRunner, ResultsComeBackInSubmissionOrder)
+{
+    const BenchOptions opts = tinyOpts(4);
+    SweepRunner runner(opts);
+    // Jobs with wildly different run lengths: completion order will
+    // not match submission order, results still must.
+    for (int i = 0; i < 8; ++i) {
+        BenchOptions o = opts;
+        o.instrPerCore = (i % 2) ? 2'000 : 40'000;
+        o.minRefsPerCore = 100; // keep instrPerCore the binding knob
+        SystemConfig cfg = makeSystemConfig(Design::Pom, o);
+        runner.submit("pom", "app" + std::to_string(i),
+                      [cfg, o] {
+                          return runRateWorkload(cfg, testApp(), o);
+                      });
+    }
+    const auto recs = runner.collect();
+    ASSERT_EQ(recs.size(), 8u);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(recs[i].app, "app" + std::to_string(i));
+        // Long runs retire ~20x the instructions of short ones.
+        if (i % 2)
+            EXPECT_LT(recs[i].result.instructions,
+                      recs[i - 1].result.instructions);
+        EXPECT_GT(recs[i].wallSeconds, 0.0);
+    }
+}
+
+TEST(SweepRunner, ParallelSweepIsByteIdenticalToSequential)
+{
+    const auto seq = runGrid(1);
+    const auto par = runGrid(8);
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        const RunResult &a = seq[i].result;
+        const RunResult &b = par[i].result;
+        // Exact equality, not tolerance: every run owns its System
+        // and RNG, so thread count must not perturb one bit.
+        EXPECT_EQ(a.ipcGeoMean, b.ipcGeoMean) << "cell " << i;
+        EXPECT_EQ(a.ipcPerCore, b.ipcPerCore) << "cell " << i;
+        EXPECT_EQ(a.stackedHitRate, b.stackedHitRate) << "cell " << i;
+        EXPECT_EQ(a.swaps, b.swaps) << "cell " << i;
+        EXPECT_EQ(a.fills, b.fills) << "cell " << i;
+        EXPECT_EQ(a.amal, b.amal) << "cell " << i;
+        EXPECT_EQ(a.instructions, b.instructions) << "cell " << i;
+        EXPECT_EQ(a.memRefs, b.memRefs) << "cell " << i;
+        EXPECT_EQ(a.majorFaults, b.majorFaults) << "cell " << i;
+        EXPECT_EQ(a.makespan, b.makespan) << "cell " << i;
+        EXPECT_EQ(a.cacheModeFraction, b.cacheModeFraction)
+            << "cell " << i;
+    }
+}
+
+TEST(SweepRunner, PropagatesJobExceptions)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        SweepRunner runner(tinyOpts(jobs));
+        runner.submit("d", "ok", [] { return RunResult{}; });
+        runner.submit("d", "boom", []() -> RunResult {
+            throw std::runtime_error("job exploded");
+        });
+        runner.submit("d", "ok2", [] { return RunResult{}; });
+        EXPECT_THROW(runner.collect(), std::runtime_error)
+            << "jobs=" << jobs;
+    }
+}
+
+TEST(SweepRunner, WritesJsonWhenRequested)
+{
+    const char *path = "/tmp/chameleon_sweep_test.json";
+    std::remove(path);
+    BenchOptions opts = tinyOpts(2);
+    opts.jsonPath = path;
+    const AppProfile app = testApp();
+    SweepRunner runner(opts);
+    for (std::uint64_t seed : {1ull, 2ull}) {
+        BenchOptions o = opts;
+        o.seed = seed;
+        SystemConfig cfg = makeSystemConfig(Design::ChameleonOpt, o);
+        runner.submit("chameleon-opt", app.name, [cfg, app, o] {
+            return runRateWorkload(cfg, app, o);
+        });
+    }
+    runner.collect();
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "--json file missing";
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    EXPECT_NE(text.find("\"design\": \"chameleon-opt\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"app\": \"sweepapp\""), std::string::npos);
+    EXPECT_NE(text.find("\"wall_seconds\""), std::string::npos);
+    EXPECT_NE(text.find("\"jobs\": 2"), std::string::npos);
+    EXPECT_EQ(text.front(), '[');
+    EXPECT_EQ(text[text.size() - 2], ']');
+    std::remove(path);
+}
+
+TEST(SweepRunner, JobsFlagParsesAndValidates)
+{
+    auto parse = [](std::initializer_list<const char *> args) {
+        std::vector<char *> argv;
+        static char prog[] = "bench";
+        argv.push_back(prog);
+        for (const char *a : args)
+            argv.push_back(const_cast<char *>(a));
+        return parseBenchArgs(static_cast<int>(argv.size()),
+                              argv.data());
+    };
+    EXPECT_EQ(parse({"--jobs", "6"}).jobs, 6u);
+    EXPECT_EQ(parse({}).jobs, 0u) << "default = auto-detect";
+    EXPECT_EQ(parse({"--json", "/tmp/x.json"}).jsonPath,
+              "/tmp/x.json");
+    EXPECT_DEATH(parse({"--jobs", "0"}), "--jobs must be at least 1");
+    EXPECT_DEATH(parse({"--jobs", "100000"}), "not plausible");
+    EXPECT_DEATH(parse({"--json"}), "missing value");
+    EXPECT_DEATH(parse({"--offchip-gib", "0"}), "must be positive");
+    EXPECT_DEATH(parse({"--instr", "0", "--refs", "0"}),
+                 "nothing to run");
+    EXPECT_DEATH(parse({"--warmup-frac", "-1"}), "non-negative");
+}
