@@ -120,6 +120,10 @@ benchBanner(const char *figure, const char *what,
                 static_cast<unsigned long long>(opts.instrPerCore),
                 static_cast<unsigned long long>(opts.minRefsPerCore),
                 static_cast<unsigned long long>(opts.seed));
+    if (opts.oracle)
+        std::printf("[oracle] shadow-memory differential oracle + "
+                    "invariant checker enabled; runs abort on the "
+                    "first violation\n\n");
 }
 
 /** Sweep-bench default: lighter per-run work to keep the full

@@ -11,7 +11,7 @@ namespace chameleon
 double
 Histogram::percentile(double frac) const
 {
-    if (total == 0)
+    if (total == 0 || frac <= 0.0)
         return 0.0;
     const auto target = static_cast<std::uint64_t>(
         frac * static_cast<double>(total));

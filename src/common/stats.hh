@@ -63,9 +63,16 @@ class Histogram
     void
     sample(double v)
     {
-        auto idx = static_cast<std::size_t>(v / width);
-        if (idx >= counts.size() - 1)
-            idx = counts.size() - 1;
+        // Clamp in double space: casting a negative, NaN, or
+        // size_t-overflowing quotient is undefined behaviour.
+        const double scaled = v / width;
+        std::size_t idx;
+        if (!(scaled >= 0.0))
+            idx = 0; // negative or NaN samples land in [0, width)
+        else if (scaled >= static_cast<double>(counts.size() - 1))
+            idx = counts.size() - 1; // overflow bucket (also +inf)
+        else
+            idx = static_cast<std::size_t>(scaled);
         ++counts[idx];
         ++total;
     }

@@ -73,6 +73,18 @@ class ChameleonMemory : public PomMemory
         return aug[group].abv;
     }
 
+    /** Logical slot cached in the stacked slot (verify/; tests). */
+    std::uint8_t groupCachedSlot(std::uint64_t group) const
+    {
+        return aug[group].cachedSlot;
+    }
+
+    /** Dirty bit of the cached segment (verify/; tests). */
+    bool groupDirty(std::uint64_t group) const
+    {
+        return aug[group].dirty;
+    }
+
     /** Fraction of groups currently in cache mode (Fig 16/21). */
     double cacheModeFraction() const;
 

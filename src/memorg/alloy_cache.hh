@@ -58,6 +58,32 @@ class AlloyCache : public MemOrganization
     /** Number of cache sets (== lines, direct-mapped). */
     std::uint64_t numLines() const { return lines.size(); }
 
+    /** Controller-side tag/valid/dirty mirror of one line
+     *  (verify/ invariant checker; tests). */
+    struct LineView
+    {
+        Addr tag = invalidAddr;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    LineView
+    lineView(std::uint64_t index) const
+    {
+        const Line &l = lines[index];
+        return LineView{l.tag, l.valid, l.dirty};
+    }
+
+    /** Line (set) index covering OS-visible @p phys. */
+    std::uint64_t lineIndexOf(Addr phys) const { return lineIndex(phys); }
+
+    /** OS-visible home address of valid line @p index. */
+    Addr
+    lineHomeAddr(std::uint64_t index) const
+    {
+        return (lines[index].tag * lines.size() + index) * cfg.lineBytes;
+    }
+
   protected:
     Addr resolveLocation(Addr phys) const override;
 

@@ -74,6 +74,31 @@ MemOrganization::functionalRead(Addr phys)
     return it->second;
 }
 
+std::optional<std::uint64_t>
+MemOrganization::functionalPeekLoc(Addr loc) const
+{
+    if (!functionalOn)
+        return std::nullopt;
+    auto it = blockData.find(loc / 64 * 64);
+    if (it == blockData.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+MemOrganization::isaMigrate(Addr src_base, Addr dst_base,
+                            std::uint64_t bytes, Cycle when)
+{
+    (void)when;
+    if (!functionalOn)
+        return;
+    // Per-block resolution: the two frames may straddle segment
+    // boundaries that are remapped independently.
+    for (std::uint64_t off = 0; off < bytes; off += 64)
+        funcMove(resolveLocation(src_base + off),
+                 resolveLocation(dst_base + off), 64);
+}
+
 void
 MemOrganization::reserveFunctional(std::uint64_t footprint_bytes)
 {

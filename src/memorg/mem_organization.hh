@@ -111,6 +111,16 @@ class MemOrganization : public IsaListener
     void isaAlloc(Addr, Cycle) override {}
     void isaFree(Addr, Cycle) override {}
 
+    /**
+     * OS page migration (AutoNUMA): the page's bytes move from the
+     * frame at @p src_base to the one at @p dst_base. The base
+     * implementation relocates the functional data so migrations are
+     * value-preserving under the shadow oracle; timing is already
+     * charged by the OS's migration machinery.
+     */
+    void isaMigrate(Addr src_base, Addr dst_base, std::uint64_t bytes,
+                    Cycle when) override;
+
     const MemOrgStats &stats() const { return statsData; }
     void resetStats();
 
@@ -135,10 +145,11 @@ class MemOrganization : public IsaListener
     /** Functionally load the block value at OS-visible @p phys. */
     std::optional<std::uint64_t> functionalRead(Addr phys);
 
-  protected:
     /**
      * Device-location encoding for the functional store: stacked
      * locations are [0, S), off-chip locations are offset by 1<<48.
+     * Public so the verify/ invariant checker can compare data at
+     * two device locations (e.g. a clean cached copy vs its home).
      */
     static constexpr Addr offchipLocBase = 1ull << 48;
 
@@ -154,6 +165,14 @@ class MemOrganization : public IsaListener
         return offchipLocBase + device_addr;
     }
 
+    /**
+     * Functional block value at device location @p loc (no address
+     * resolution — the caller names the physical storage directly).
+     * nullopt while the layer is off or the block was never written.
+     */
+    std::optional<std::uint64_t> functionalPeekLoc(Addr loc) const;
+
+  protected:
     /**
      * Resolve an OS-visible address to the device location a read
      * would be served from right now.

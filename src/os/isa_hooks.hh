@@ -35,6 +35,23 @@ class IsaListener
 
     /** One segment became OS-free. */
     virtual void isaFree(Addr seg_base, Cycle when) = 0;
+
+    /**
+     * The OS migrated a page: @p bytes move from the frame at
+     * @p src_base to the frame at @p dst_base (AutoNUMA). Emitted
+     * after the alloc/free notifications for the two frames, so
+     * listeners that clear freed segments see an empty destination.
+     * Default: ignore (designs without a functional data layer).
+     */
+    virtual void
+    isaMigrate(Addr src_base, Addr dst_base, std::uint64_t bytes,
+               Cycle when)
+    {
+        (void)src_base;
+        (void)dst_base;
+        (void)bytes;
+        (void)when;
+    }
 };
 
 } // namespace chameleon

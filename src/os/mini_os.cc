@@ -352,6 +352,8 @@ MiniOs::migratePage(ProcId pid, std::uint64_t vpn, MemNode target,
     mapPage(proc, pid, vpn, *frame, false);
     pte.dirty = was_dirty;
     emitAllocs(*frame, pageBytes, when);
+    if (cfg.emitIsaHooks && isa)
+        isa->isaMigrate(old_pfn, *frame, pageBytes, when);
     ++statsData.migrations;
     return true;
 }

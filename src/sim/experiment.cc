@@ -50,6 +50,8 @@ parseBenchArgs(int argc, char **argv)
             opts.jsonPath = argv[++i];
             if (opts.jsonPath.empty())
                 fatal("--json requires a non-empty path");
+        } else if (flag == "--oracle") {
+            opts.oracle = true;
         } else if (flag == "--quiet") {
             setQuiet(true);
         } else if (flag == "--help") {
@@ -57,7 +59,7 @@ parseBenchArgs(int argc, char **argv)
                 stderr,
                 "flags: --scale N --instr N --refs N --seed N "
                 "--stacked-gib N --offchip-gib N --jobs N "
-                "--json PATH --quiet\n");
+                "--json PATH --oracle --quiet\n");
             std::exit(0);
         } else if (flag.rfind("--benchmark", 0) == 0) {
             // Tolerate google-benchmark runner flags.
@@ -87,6 +89,7 @@ makeSystemConfig(Design design, const BenchOptions &opts)
     cfg.stackedFullBytes = opts.stackedFullGiB * 1_GiB;
     cfg.offchipFullBytes = opts.offchipFullGiB * 1_GiB;
     cfg.seed = opts.seed;
+    cfg.oracle = opts.oracle;
     return cfg;
 }
 

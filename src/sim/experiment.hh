@@ -15,6 +15,9 @@
  *               the pre-parallel benches)
  *   --json P    write per-run metrics to P as a JSON array
  *   --quiet     suppress warn/inform chatter
+ *   --oracle    run under the shadow-memory differential oracle +
+ *               invariant checker (verify/); aborts on any violation.
+ *               Slower and memory-hungry; see EXPERIMENTS.md
  */
 
 #ifndef CHAMELEON_SIM_EXPERIMENT_HH
@@ -48,6 +51,8 @@ struct BenchOptions
     unsigned jobs = 0;
     /** Destination for per-run JSON metrics; empty = disabled. */
     std::string jsonPath;
+    /** Run every system under the shadow oracle (SystemConfig::oracle). */
+    bool oracle = false;
 };
 
 /** Parse the common bench flags; unknown flags are fatal. */

@@ -50,7 +50,12 @@ System::System(const SystemConfig &config) : cfg(config)
         offchipDramConfig(cfg.scale, cfg.offchipFullBytes));
 
     buildOrganization();
-    org->enableFunctional(cfg.functionalData);
+    org->enableFunctional(cfg.functionalData || cfg.oracle);
+    if (cfg.oracle) {
+        oracle = std::make_unique<ShadowOracle>(org.get());
+        isaShim =
+            std::make_unique<OracleIsaShim>(org.get(), oracle.get());
+    }
 
     // The OS address space must equal what the organization exposes:
     // cache designs hide the stacked capacity, PoM designs expose it.
@@ -78,7 +83,11 @@ System::System(const SystemConfig &config) : cfg(config)
     OsConfig osc;
     osc.frames = fac;
     osc.majorFaultLatency = cfg.majorFaultLatency;
-    miniOs = std::make_unique<MiniOs>(osc, org.get());
+    miniOs = std::make_unique<MiniOs>(
+        osc, isaShim ? static_cast<IsaListener *>(isaShim.get())
+                     : org.get());
+    if (oracle)
+        oracle->setOsView(&miniOs->allocator());
 
     if (cfg.runAutoNuma) {
         if (cfg.design != Design::NumaFlat)
@@ -150,6 +159,8 @@ System::loadTraceWorkload(const std::vector<std::string> &paths)
     for (const auto &s : streams)
         total += s->footprint();
     org->reserveFunctional(total);
+    if (oracle)
+        oracle->reserve(total);
 }
 
 void
@@ -174,6 +185,8 @@ System::loadPerCoreWorkloads(const std::vector<AppProfile> &profiles)
     for (const AppProfile &p : profiles)
         total += p.footprintBytes;
     org->reserveFunctional(total);
+    if (oracle)
+        oracle->reserve(total);
 }
 
 void
@@ -211,6 +224,14 @@ System::runPhase(std::uint64_t retire_target)
         if (tr.stall)
             core.blockFor(tr.stall);
 
+        if (oracle && (tr.majorFault || tr.minorFault)) {
+            // The page was (re)built from zeroes or swap: its previous
+            // contents are legitimately gone, so stop constraining it.
+            oracle->invalidateRange(
+                oracleKey(procs[c], op.vaddr & ~(pageBytes - 1)),
+                pageBytes);
+        }
+
         if (autoNuma)
             autoNuma->recordAccess(procs[c], op.vaddr,
                                    miniOs->allocator().nodeOf(tr.phys),
@@ -221,9 +242,23 @@ System::runPhase(std::uint64_t retire_target)
             const MemAccessResult r =
                 org->access(tr.phys, AccessType::Read, issue);
             core.completeRead(r.done);
+            if (oracle)
+                oracle->checkLoad(oracleKey(procs[c], op.vaddr),
+                                  org->functionalRead(tr.phys));
         } else {
             org->access(tr.phys, AccessType::Write, core.now());
             core.retireWrite();
+            if (oracle) {
+                const std::uint64_t v = oracle->nextValue();
+                org->functionalWrite(tr.phys, v);
+                oracle->recordStore(oracleKey(procs[c], op.vaddr), v);
+            }
+        }
+        if (oracle) {
+            oracle->onAccessDone(tr.phys);
+            // Periodic quiescent-point sweep, OS free list included.
+            if (++oracleOps % oracleSweepInterval == 0)
+                oracle->fullCheck(true);
         }
 
         if (core.retired() >= retire_target) {
@@ -294,6 +329,14 @@ System::run(std::uint64_t instr_per_core, std::uint64_t warmup_per_core)
     res.minorFaults = miniOs->stats().minorFaults - minor0;
     if (auto *cham = dynamic_cast<ChameleonMemory *>(org.get()))
         res.cacheModeFraction = cham->cacheModeFraction();
+    if (oracle) {
+        oracle->finalCheck();
+        const ShadowOracleStats &os = oracle->stats();
+        res.oracleStores = os.stores;
+        res.oracleLoadChecks = os.loadChecks;
+        res.oracleInvariantChecks = oracle->invariantChecksRun();
+        res.oracleViolations = os.violations;
+    }
     return res;
 }
 

@@ -18,6 +18,7 @@
 #include "memorg/pom.hh"
 #include "os/autonuma.hh"
 #include "os/mini_os.hh"
+#include "verify/shadow_oracle.hh"
 #include "workloads/profile.hh"
 #include "workloads/stream_gen.hh"
 #include "workloads/trace_stream.hh"
@@ -73,6 +74,14 @@ struct SystemConfig
     std::uint64_t seed = 1;
     /** Enable the functional data layer (tests). */
     bool functionalData = false;
+    /**
+     * Run under the shadow-memory differential oracle: every store is
+     * mirrored in a per-(process, virtual address) shadow, every load
+     * is checked against it, and the remap-metadata invariant checker
+     * runs after every segment movement and ISA event. Implies
+     * functionalData. Any violation aborts the run (verify/).
+     */
+    bool oracle = false;
 
     std::uint64_t stackedBytes() const
     {
@@ -105,6 +114,11 @@ struct RunResult
     std::uint64_t memRefs = 0;
     /** Longest core-local completion time (execution time proxy). */
     Cycle makespan = 0;
+    /** Oracle counters, all zero unless SystemConfig::oracle. */
+    std::uint64_t oracleStores = 0;
+    std::uint64_t oracleLoadChecks = 0;
+    std::uint64_t oracleInvariantChecks = 0;
+    std::uint64_t oracleViolations = 0;
 };
 
 /**
@@ -156,6 +170,8 @@ class System
     DramDevice *stackedDevice() { return stackedDev.get(); }
     DramDevice &offchipDevice() { return *offchipDev; }
     AutoNuma *autonumaDaemon() { return autoNuma.get(); }
+    /** Null unless SystemConfig::oracle. */
+    ShadowOracle *shadowOracle() { return oracle.get(); }
     const SystemConfig &config() const { return cfg; }
 
   private:
@@ -166,12 +182,25 @@ class System
     std::unique_ptr<DramDevice> stackedDev;
     std::unique_ptr<DramDevice> offchipDev;
     std::unique_ptr<MemOrganization> org;
+    std::unique_ptr<ShadowOracle> oracle;
+    std::unique_ptr<OracleIsaShim> isaShim;
     std::unique_ptr<MiniOs> miniOs;
     std::unique_ptr<AutoNuma> autoNuma;
+
+    /** Shadow key: (process, virtual address) packed into one Addr. */
+    static Addr
+    oracleKey(ProcId pid, Addr vaddr)
+    {
+        return ((static_cast<Addr>(pid) + 1) << 44) | vaddr;
+    }
 
     std::vector<CoreModel> cores;
     std::vector<std::unique_ptr<AddressStream>> streams;
     std::vector<ProcId> procs;
+
+    /** Memory references between full oracle sweeps. */
+    static constexpr std::uint64_t oracleSweepInterval = 1ull << 18;
+    std::uint64_t oracleOps = 0;
 };
 
 } // namespace chameleon

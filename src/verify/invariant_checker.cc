@@ -1,0 +1,286 @@
+#include "verify/invariant_checker.hh"
+
+#include "common/log.hh"
+#include "core/chameleon.hh"
+#include "core/chameleon_opt.hh"
+#include "memorg/alloy_cache.hh"
+#include "memorg/mem_organization.hh"
+#include "memorg/pom.hh"
+#include "os/frame_allocator.hh"
+
+namespace chameleon
+{
+
+namespace
+{
+
+/** Violation line: "<design>: group 12: <what>". */
+std::string
+vio(const MemOrganization *org, std::uint64_t unit, const char *kind,
+    const std::string &what)
+{
+    return strFormat("%s: %s %llu: %s", org->name(), kind,
+                     static_cast<unsigned long long>(unit),
+                     what.c_str());
+}
+
+} // namespace
+
+InvariantChecker::InvariantChecker(MemOrganization *organization)
+    : org(organization)
+{
+    pom = dynamic_cast<PomMemory *>(org);
+    cham = dynamic_cast<ChameleonMemory *>(org);
+    opt = dynamic_cast<ChameleonOptMemory *>(org);
+    alloy = dynamic_cast<AlloyCache *>(org);
+}
+
+void
+InvariantChecker::checkPomGroup(std::uint64_t g,
+                                std::vector<std::string> &out)
+{
+    const SrtEntry &e = pom->entry(g);
+    const std::uint32_t n = pom->space().slotsPerGroup();
+    for (std::uint32_t s = 0; s < n; ++s) {
+        if (e.perm[s] >= n || e.inv[s] >= n) {
+            out.push_back(vio(org, g, "group",
+                              strFormat("SRT slot %u out of range "
+                                        "(perm=%u inv=%u, %u slots)",
+                                        s, e.perm[s], e.inv[s], n)));
+            continue;
+        }
+        if (e.inv[e.perm[s]] != s)
+            out.push_back(vio(
+                org, g, "group",
+                strFormat("SRT not a permutation: inv[perm[%u]=%u]=%u",
+                          s, e.perm[s], e.inv[e.perm[s]])));
+    }
+}
+
+void
+InvariantChecker::checkCachedData(std::uint64_t g,
+                                  std::vector<std::string> &out)
+{
+    // A *clean* cached copy must agree block-for-block with the
+    // off-chip home copy it was filled from; divergence means a lost
+    // writeback, a missed dirty bit, or a fill from the wrong slot.
+    if (!org->functionalEnabled())
+        return;
+    const std::uint32_t c = cham->groupCachedSlot(g);
+    if (c == noCachedSlot || cham->groupDirty(g))
+        return;
+    const SegmentSpace &sp = cham->space();
+    const std::uint32_t home_slot = cham->entry(g).perm[c];
+    const Addr cache_loc =
+        MemOrganization::stackedLoc(sp.deviceAddr(g, 0));
+    const Addr home_loc =
+        SegmentSpace::slotIsStacked(home_slot)
+            ? MemOrganization::stackedLoc(sp.deviceAddr(g, home_slot))
+            : MemOrganization::offchipLoc(sp.deviceAddr(g, home_slot));
+    for (std::uint64_t off = 0; off < sp.segmentBytes(); off += 64) {
+        const auto a = org->functionalPeekLoc(cache_loc + off);
+        const auto b = org->functionalPeekLoc(home_loc + off);
+        if (a != b) {
+            out.push_back(vio(
+                org, g, "group",
+                strFormat("clean cached slot %u diverges from home "
+                          "slot %u at offset %llu (%s vs %s)",
+                          c, home_slot,
+                          static_cast<unsigned long long>(off),
+                          a ? strFormat("%#llx",
+                                        static_cast<unsigned long long>(
+                                            *a))
+                                  .c_str()
+                            : "absent",
+                          b ? strFormat("%#llx",
+                                        static_cast<unsigned long long>(
+                                            *b))
+                                  .c_str()
+                            : "absent")));
+            return; // one divergence per group is enough to report
+        }
+    }
+}
+
+void
+InvariantChecker::checkChamGroup(std::uint64_t g,
+                                 std::vector<std::string> &out)
+{
+    const SrtEntry &e = cham->entry(g);
+    const std::uint32_t n = cham->space().slotsPerGroup();
+    const GroupMode mode = cham->groupMode(g);
+    const std::uint8_t abv = cham->groupAbv(g);
+    const std::uint8_t c = cham->groupCachedSlot(g);
+
+    if (!opt) {
+        // Basic Chameleon / Polymorphic: the mode bit mirrors the
+        // stacked segment's ABV bit (Fig 8 / Fig 10).
+        if ((mode == GroupMode::Pom) != ((abv & 1u) != 0))
+            out.push_back(vio(
+                org, g, "group",
+                strFormat("mode %s disagrees with stacked ABV bit %u",
+                          mode == GroupMode::Pom ? "pom" : "cache",
+                          abv & 1u)));
+        // Cache mode keeps the free stacked segment home in its slot
+        // (the Fig 11 proactive swap restores this on ISA-Free).
+        if (mode == GroupMode::Cache && e.perm[0] != 0)
+            out.push_back(vio(
+                org, g, "group",
+                strFormat("cache mode but stacked segment remapped "
+                          "to slot %u", e.perm[0])));
+    } else {
+        // Chameleon-Opt: PoM mode exactly when every segment is
+        // allocated (Fig 12 box 6 / Fig 14 box 5).
+        const std::uint8_t full =
+            static_cast<std::uint8_t>((1u << n) - 1u);
+        if ((mode == GroupMode::Pom) != ((abv & full) == full))
+            out.push_back(vio(
+                org, g, "group",
+                strFormat("mode %s disagrees with ABV %#x (%u slots)",
+                          mode == GroupMode::Pom ? "pom" : "cache",
+                          abv, n)));
+        // In cache mode the stacked physical slot is nominally
+        // assigned to a *free* logical segment, so its storage is
+        // available as cache.
+        if (mode == GroupMode::Cache &&
+            ((abv >> e.inv[0]) & 1u) != 0)
+            out.push_back(vio(
+                org, g, "group",
+                strFormat("cache mode but stacked slot hosts "
+                          "allocated logical %u", e.inv[0])));
+    }
+
+    if (c != noCachedSlot) {
+        if (mode != GroupMode::Cache)
+            out.push_back(vio(org, g, "group",
+                              "cached segment present in PoM mode"));
+        if (c >= n) {
+            out.push_back(vio(org, g, "group",
+                              strFormat("cached slot %u out of range",
+                                        c)));
+            return;
+        }
+        if (((abv >> c) & 1u) == 0)
+            out.push_back(vio(
+                org, g, "group",
+                strFormat("cached logical %u is OS-free", c)));
+        // Never simultaneously cached and remapped into the stacked
+        // slot: the cache copy and the PoM mapping would then claim
+        // the same physical storage for different segments.
+        if (e.perm[c] == 0)
+            out.push_back(vio(
+                org, g, "group",
+                strFormat("cached logical %u is also mapped to the "
+                          "stacked slot", c)));
+        checkCachedData(g, out);
+    } else if (cham->groupDirty(g)) {
+        out.push_back(vio(org, g, "group",
+                          "dirty bit set with nothing cached"));
+    }
+}
+
+void
+InvariantChecker::checkOsAgreement(std::uint64_t g,
+                                   std::vector<std::string> &out)
+{
+    // Free-list vs remap-table agreement: each segment's ABV bit must
+    // equal the allocation state of the OS frame containing it. Only
+    // meaningful when segments do not outsize pages (the default
+    // 2KiB segment / 4KiB page split; per-page ISA events cannot
+    // track sub-page state for larger segments).
+    if (!cham || !osFrames)
+        return;
+    const SegmentSpace &sp = cham->space();
+    if (sp.segmentBytes() > pageBytes)
+        return;
+    const std::uint32_t n = sp.slotsPerGroup();
+    for (std::uint32_t l = 0; l < n; ++l) {
+        const Addr home = sp.homeAddr(g, l);
+        const bool os_alloc =
+            osFrames->isAllocated(home & ~(pageBytes - 1));
+        const bool hw_alloc = ((cham->groupAbv(g) >> l) & 1u) != 0;
+        if (os_alloc != hw_alloc) {
+            out.push_back(vio(
+                org, g, "group",
+                strFormat("logical %u: OS free list says %s but ABV "
+                          "says %s",
+                          l, os_alloc ? "allocated" : "free",
+                          hw_alloc ? "allocated" : "free")));
+        }
+    }
+}
+
+void
+InvariantChecker::checkAlloyLine(std::uint64_t line,
+                                 std::vector<std::string> &out)
+{
+    const AlloyCache::LineView v = alloy->lineView(line);
+    if (!v.valid) {
+        if (v.dirty)
+            out.push_back(vio(org, line, "line",
+                              "dirty bit set on an invalid line"));
+        return;
+    }
+    const Addr home = alloy->lineHomeAddr(line);
+    if (home >= alloy->osVisibleBytes()) {
+        out.push_back(vio(
+            org, line, "line",
+            strFormat("tag %#llx maps home %#llx beyond OS space",
+                      static_cast<unsigned long long>(v.tag),
+                      static_cast<unsigned long long>(home))));
+        return;
+    }
+    if (!v.dirty && org->functionalEnabled()) {
+        const auto cached = org->functionalPeekLoc(
+            MemOrganization::stackedLoc(line * 64));
+        const auto backing =
+            org->functionalPeekLoc(MemOrganization::offchipLoc(home));
+        if (cached != backing)
+            out.push_back(vio(
+                org, line, "line",
+                strFormat("clean line diverges from home %#llx",
+                          static_cast<unsigned long long>(home))));
+    }
+}
+
+std::vector<std::string>
+InvariantChecker::checkAt(Addr phys)
+{
+    std::vector<std::string> out;
+    if (pom) {
+        const std::uint64_t g = pom->space().groupOf(phys);
+        ++checks;
+        checkPomGroup(g, out);
+        if (cham)
+            checkChamGroup(g, out);
+    } else if (alloy) {
+        ++checks;
+        checkAlloyLine(alloy->lineIndexOf(phys), out);
+    }
+    return out;
+}
+
+std::vector<std::string>
+InvariantChecker::checkAll(bool with_os_view)
+{
+    std::vector<std::string> out;
+    if (pom) {
+        const std::uint64_t groups = pom->space().numGroups();
+        for (std::uint64_t g = 0; g < groups; ++g) {
+            ++checks;
+            checkPomGroup(g, out);
+            if (cham)
+                checkChamGroup(g, out);
+            if (with_os_view)
+                checkOsAgreement(g, out);
+        }
+    } else if (alloy) {
+        for (std::uint64_t l = 0; l < alloy->numLines(); ++l) {
+            ++checks;
+            checkAlloyLine(l, out);
+        }
+    }
+    return out;
+}
+
+} // namespace chameleon

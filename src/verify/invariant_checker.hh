@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Structural invariant checker for the remap/swap metadata of every
+ * memory organization.
+ *
+ * The correctness of the address-remapping designs hinges on metadata
+ * that is easy to corrupt silently: SRRT permutations, cache-mode
+ * tag/dirty bits, the Alloc Bit Vector, and Chameleon-Opt's proactive
+ * remaps must always agree about where each segment's bytes live. A
+ * wrong-but-plausible remap does not crash — it only skews benchmark
+ * numbers. The checker makes such bugs fail loudly: it inspects one
+ * organization's metadata and returns a human-readable report of
+ * every violated invariant.
+ *
+ * Checked per design family (dispatched by dynamic_cast):
+ *  - PoM and descendants: every SRT entry is a permutation within its
+ *    segment group (perm/inv mutually inverse, all slots in range).
+ *  - Chameleon (and Polymorphic): group mode mirrors the stacked
+ *    segment's ABV bit; cache mode keeps the stacked segment home in
+ *    its slot; a cached segment is allocated, off-chip mapped (never
+ *    simultaneously cached and remapped into the stacked slot) and
+ *    only dirty while present; a *clean* cached copy's functional
+ *    data agrees block-for-block with its off-chip home copy.
+ *  - Chameleon-Opt: PoM mode exactly when every segment is allocated;
+ *    in cache mode the stacked physical slot hosts a free logical
+ *    segment that is never also the cached one.
+ *  - Alloy: every valid line's tag maps back to an in-range OS
+ *    address; a clean line's functional data matches its home copy.
+ *  - Flat: nothing to check beyond the base accounting (identity map).
+ *
+ * With an OS view attached (setOsView), the checker additionally
+ * asserts that the free-list and remap-table views of every segment
+ * agree: the ABV bit of each segment equals the frame allocator's
+ * allocation state of the frame containing it. OS-view checks are
+ * only valid at quiescent points (a page allocation emits one ISA
+ * event per contained segment, so mid-storm the views legitimately
+ * disagree); checkAt()/checkGroup() therefore never consult it.
+ *
+ * Thread-compatible, not thread-safe: one checker per organization.
+ */
+
+#ifndef CHAMELEON_VERIFY_INVARIANT_CHECKER_HH
+#define CHAMELEON_VERIFY_INVARIANT_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace chameleon
+{
+
+class MemOrganization;
+class PomMemory;
+class ChameleonMemory;
+class ChameleonOptMemory;
+class AlloyCache;
+class FrameAllocator;
+
+/** Invariant checker over one organization's metadata. */
+class InvariantChecker
+{
+  public:
+    explicit InvariantChecker(MemOrganization *organization);
+
+    /**
+     * Attach the OS frame allocator so checkAll() can cross-check the
+     * ABV against the OS free list. The allocator must expose the
+     * same OS-visible address space as the organization.
+     */
+    void setOsView(const FrameAllocator *frames) { osFrames = frames; }
+
+    /**
+     * Targeted check of the remap structure covering @p phys (one
+     * segment group, or one Alloy line). Structural only — never
+     * consults the OS view, so it is safe mid ISA storm. Cheap enough
+     * to run after every metadata-mutating event.
+     */
+    std::vector<std::string> checkAt(Addr phys);
+
+    /**
+     * Full sweep over every group/line. @p with_os_view additionally
+     * runs the free-list agreement check (quiescent points only).
+     */
+    std::vector<std::string> checkAll(bool with_os_view = true);
+
+    /** Total individual invariant evaluations performed. */
+    std::uint64_t checksRun() const { return checks; }
+
+  private:
+    void checkPomGroup(std::uint64_t group,
+                       std::vector<std::string> &out);
+    void checkChamGroup(std::uint64_t group,
+                        std::vector<std::string> &out);
+    void checkCachedData(std::uint64_t group,
+                         std::vector<std::string> &out);
+    void checkAlloyLine(std::uint64_t line,
+                        std::vector<std::string> &out);
+    void checkOsAgreement(std::uint64_t group,
+                          std::vector<std::string> &out);
+
+    MemOrganization *org;
+    /** Family pointers; null when the org is not of that family. */
+    PomMemory *pom = nullptr;
+    ChameleonMemory *cham = nullptr;
+    ChameleonOptMemory *opt = nullptr;
+    AlloyCache *alloy = nullptr;
+    const FrameAllocator *osFrames = nullptr;
+    std::uint64_t checks = 0;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_VERIFY_INVARIANT_CHECKER_HH

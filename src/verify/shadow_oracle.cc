@@ -1,0 +1,164 @@
+#include "verify/shadow_oracle.hh"
+
+#include "common/log.hh"
+#include "memorg/mem_organization.hh"
+
+namespace chameleon
+{
+
+ShadowOracle::ShadowOracle(MemOrganization *organization,
+                           const ShadowOracleConfig &config)
+    : org(organization), cfg(config), checker(organization)
+{
+    lastMovement = movementCount();
+}
+
+void
+ShadowOracle::setOsView(const FrameAllocator *frames)
+{
+    checker.setOsView(frames);
+    hasOsView = frames != nullptr;
+}
+
+void
+ShadowOracle::reserve(std::uint64_t footprint_bytes)
+{
+    shadow.reserve(footprint_bytes / 64 + 1);
+}
+
+void
+ShadowOracle::recordStore(Addr key, std::uint64_t value)
+{
+    ++statsData.stores;
+    shadow[key / 64 * 64] = value;
+}
+
+void
+ShadowOracle::checkLoad(Addr key, std::optional<std::uint64_t> actual)
+{
+    ++statsData.loads;
+    auto it = shadow.find(key / 64 * 64);
+    if (it == shadow.end())
+        return; // block never stored or since invalidated
+    const std::uint64_t expected = it->second;
+    ++statsData.loadChecks;
+    if (!actual) {
+        report(strFormat(
+            "%s: shadow mismatch at key %#llx: expected %#llx, block "
+            "vanished from the memory system",
+            org->name(), static_cast<unsigned long long>(key),
+            static_cast<unsigned long long>(expected)));
+        // The block is gone; do not re-report on every future load.
+        shadow.erase(key / 64 * 64);
+        return;
+    }
+    if (*actual != expected) {
+        report(strFormat(
+            "%s: shadow mismatch at key %#llx: expected %#llx, "
+            "memory system returned %#llx",
+            org->name(), static_cast<unsigned long long>(key),
+            static_cast<unsigned long long>(expected),
+            static_cast<unsigned long long>(*actual)));
+        shadow.erase(key / 64 * 64);
+    }
+}
+
+void
+ShadowOracle::invalidate(Addr key)
+{
+    if (shadow.erase(key / 64 * 64))
+        ++statsData.invalidations;
+}
+
+void
+ShadowOracle::invalidateRange(Addr key_base, std::uint64_t bytes)
+{
+    const Addr base = key_base / 64 * 64;
+    for (std::uint64_t off = 0; off < bytes; off += 64)
+        if (shadow.erase(base + off))
+            ++statsData.invalidations;
+}
+
+std::uint64_t
+ShadowOracle::movementCount() const
+{
+    const MemOrgStats &s = org->stats();
+    return s.swaps + s.fills + s.writebacks + s.isaMoves;
+}
+
+void
+ShadowOracle::onAccessDone(Addr phys)
+{
+    const std::uint64_t now = movementCount();
+    if (now == lastMovement)
+        return;
+    lastMovement = now;
+    reportAll(checker.checkAt(phys));
+}
+
+void
+ShadowOracle::onIsaEvent(Addr seg_base)
+{
+    lastMovement = movementCount();
+    reportAll(checker.checkAt(seg_base));
+}
+
+void
+ShadowOracle::fullCheck(bool with_os_view)
+{
+    ++statsData.fullChecks;
+    reportAll(checker.checkAll(with_os_view && hasOsView));
+}
+
+void
+ShadowOracle::finalCheck()
+{
+    fullCheck(true);
+}
+
+void
+ShadowOracle::report(const std::string &what)
+{
+    ++statsData.violations;
+    if (cfg.panicOnViolation)
+        panic("oracle violation: %s", what.c_str());
+    if (violations.size() < cfg.maxViolations)
+        violations.push_back(what);
+}
+
+void
+ShadowOracle::reportAll(std::vector<std::string> &&found)
+{
+    for (std::string &v : found)
+        report(v);
+}
+
+std::uint64_t
+OracleIsaShim::isaSegmentBytes() const
+{
+    return org->isaSegmentBytes();
+}
+
+void
+OracleIsaShim::isaAlloc(Addr seg_base, Cycle when)
+{
+    org->isaAlloc(seg_base, when);
+    orc->onIsaEvent(seg_base);
+}
+
+void
+OracleIsaShim::isaFree(Addr seg_base, Cycle when)
+{
+    org->isaFree(seg_base, when);
+    orc->onIsaEvent(seg_base);
+}
+
+void
+OracleIsaShim::isaMigrate(Addr src_base, Addr dst_base,
+                          std::uint64_t bytes, Cycle when)
+{
+    org->isaMigrate(src_base, dst_base, bytes, when);
+    orc->onIsaEvent(dst_base);
+}
+
+} // namespace chameleon

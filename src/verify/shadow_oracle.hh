@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Shadow-memory differential oracle for the remap/swap machinery.
+ *
+ * The oracle maintains an independent model of memory contents — a
+ * sparse shadow map from a caller-chosen 64B-block key to the last
+ * value stored there — and checks every load the simulated memory
+ * system performs against it. Because the shadow is keyed on the
+ * *software-visible* address (virtual address at System level, OS
+ * physical address at organization level) while the organization
+ * stores data by *device location*, any remapping bug that loses,
+ * duplicates or misdirects bytes shows up as a differential mismatch
+ * even when the timing model looks perfectly healthy.
+ *
+ * On top of the data oracle it drives an InvariantChecker over the
+ * organization's metadata:
+ *  - after every demand access that moved a segment (detected by a
+ *    movement-counter diff: swaps + fills + writebacks + isaMoves),
+ *    the structures covering that address are re-checked;
+ *  - after every ISA-Alloc / ISA-Free / migration event, the
+ *    structures covering the segment are re-checked (OracleIsaShim
+ *    interposes on the listener interface to observe these);
+ *  - at periodic quiescent points and at the end of a run, a full
+ *    sweep including the OS free-list agreement check runs.
+ *
+ * Violations either abort immediately (panicOnViolation, the default:
+ * a corrupted run's numbers are worthless) or accumulate in a log the
+ * mutation self-tests inspect to prove the machinery detects injected
+ * corruption.
+ *
+ * Memory overhead: one FlatMap slot (16B + load-factor slack) per
+ * distinct 64B block stored — roughly 0.4 bytes of host memory per
+ * simulated byte touched, matching the organization's own functional
+ * layer.
+ *
+ * Thread-compatible, not thread-safe: one oracle per System.
+ */
+
+#ifndef CHAMELEON_VERIFY_SHADOW_ORACLE_HH
+#define CHAMELEON_VERIFY_SHADOW_ORACLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/flat_map.hh"
+#include "common/types.hh"
+#include "os/isa_hooks.hh"
+#include "verify/invariant_checker.hh"
+
+namespace chameleon
+{
+
+class MemOrganization;
+class FrameAllocator;
+
+/** Oracle tuning. */
+struct ShadowOracleConfig
+{
+    /** Abort on the first violation (production runs) instead of
+     *  recording it (mutation self-tests). */
+    bool panicOnViolation = true;
+    /** Violations kept in the log in recording mode. */
+    std::uint64_t maxViolations = 64;
+};
+
+/** Oracle counters. */
+struct ShadowOracleStats
+{
+    std::uint64_t stores = 0;       ///< recordStore calls
+    std::uint64_t loads = 0;        ///< checkLoad calls
+    std::uint64_t loadChecks = 0;   ///< loads with a shadow entry
+    std::uint64_t invalidations = 0;///< blocks dropped from the shadow
+    std::uint64_t violations = 0;   ///< total violations seen
+    std::uint64_t fullChecks = 0;   ///< full invariant sweeps
+};
+
+/** Differential shadow memory + invariant-check driver. */
+class ShadowOracle
+{
+  public:
+    explicit ShadowOracle(MemOrganization *organization,
+                          const ShadowOracleConfig &config =
+                              ShadowOracleConfig());
+
+    /** Attach the OS frame allocator for free-list agreement checks. */
+    void setOsView(const FrameAllocator *frames);
+
+    /** Pre-size the shadow for @p footprint_bytes of touched data. */
+    void reserve(std::uint64_t footprint_bytes);
+
+    /**
+     * Fresh distinctive 64-bit value for the next store. Values never
+     * repeat, so a stale or misdirected block can never alias a
+     * correct one.
+     */
+    std::uint64_t nextValue() { return ++valueCounter; }
+
+    /** Record that @p value was stored at block key @p key. */
+    void recordStore(Addr key, std::uint64_t value);
+
+    /**
+     * Check a load at block key @p key: @p actual is what the memory
+     * system returned. Blocks never stored (or invalidated since) are
+     * unconstrained; otherwise the value must match the shadow.
+     */
+    void checkLoad(Addr key, std::optional<std::uint64_t> actual);
+
+    /** Forget one shadow block (data legitimately destroyed). */
+    void invalidate(Addr key);
+
+    /** Forget every shadow block in [key_base, key_base + bytes). */
+    void invalidateRange(Addr key_base, std::uint64_t bytes);
+
+    /**
+     * Hook after a demand access at OS-visible @p phys completed.
+     * Runs a targeted invariant check iff the access moved a segment.
+     */
+    void onAccessDone(Addr phys);
+
+    /** Hook after an ISA event touching OS-visible @p seg_base. */
+    void onIsaEvent(Addr seg_base);
+
+    /** Full invariant sweep; @p with_os_view only at quiescent points. */
+    void fullCheck(bool with_os_view);
+
+    /** End-of-run sweep (full, with OS view when attached). */
+    void finalCheck();
+
+    const ShadowOracleStats &stats() const { return statsData; }
+    std::uint64_t invariantChecksRun() const
+    {
+        return checker.checksRun();
+    }
+
+    /** Recorded violations (recording mode). */
+    const std::vector<std::string> &violationLog() const
+    {
+        return violations;
+    }
+
+    InvariantChecker &invariants() { return checker; }
+
+  private:
+    void report(const std::string &what);
+    void reportAll(std::vector<std::string> &&found);
+    /** Segment-movement counter snapshot for diff-triggered checks. */
+    std::uint64_t movementCount() const;
+
+    MemOrganization *org;
+    ShadowOracleConfig cfg;
+    InvariantChecker checker;
+    bool hasOsView = false;
+    FlatMap<Addr, std::uint64_t> shadow;
+    std::uint64_t valueCounter = 0;
+    std::uint64_t lastMovement = 0;
+    ShadowOracleStats statsData;
+    std::vector<std::string> violations;
+};
+
+/**
+ * IsaListener interposer: forwards every ISA event to the real
+ * organization, then lets the oracle re-check the touched structures.
+ * Hand this to MiniOs in place of the organization itself.
+ */
+class OracleIsaShim : public IsaListener
+{
+  public:
+    OracleIsaShim(MemOrganization *organization, ShadowOracle *oracle)
+        : org(organization), orc(oracle)
+    {
+    }
+
+    std::uint64_t isaSegmentBytes() const override;
+    void isaAlloc(Addr seg_base, Cycle when) override;
+    void isaFree(Addr seg_base, Cycle when) override;
+    void isaMigrate(Addr src_base, Addr dst_base, std::uint64_t bytes,
+                    Cycle when) override;
+
+  private:
+    MemOrganization *org;
+    ShadowOracle *orc;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_VERIFY_SHADOW_ORACLE_HH

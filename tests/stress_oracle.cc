@@ -1,0 +1,483 @@
+/**
+ * @file
+ * Randomized stress driver for the shadow-memory differential oracle
+ * and the remap-metadata invariant checker (src/verify).
+ *
+ * Three layers:
+ *  1. OracleStorm — millions of mixed operations (reads, writes,
+ *     ISA-Alloc, ISA-Free) against every organization with the
+ *     ShadowOracle recording every store, checking every load, and
+ *     re-running targeted invariant checks after each segment
+ *     movement. Op count defaults to 1,000,000 per organization and
+ *     scales with the CHAM_STRESS_OPS environment variable.
+ *  2. System-level end-to-end runs of every design (including
+ *     NumaFlat + AutoNUMA migrations) under SystemConfig::oracle.
+ *  3. Mutation self-tests: deliberately corrupt SRRT state (a
+ *     non-permutation entry, a flipped ABV bit, a coherent remap with
+ *     no data movement) and prove the machinery detects each — the
+ *     checker catches structural damage, the differential oracle
+ *     catches structurally-plausible-but-wrong remaps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "common/rng.hh"
+#include "core/chameleon.hh"
+#include "core/chameleon_opt.hh"
+#include "core/polymorphic.hh"
+#include "dram/dram_device.hh"
+#include "memorg/alloy_cache.hh"
+#include "memorg/flat_memory.hh"
+#include "memorg/pom.hh"
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+#include "verify/shadow_oracle.hh"
+
+using namespace chameleon;
+
+namespace
+{
+
+/** Mixed operations per organization (CHAM_STRESS_OPS to override). */
+std::uint64_t
+stressOps()
+{
+    if (const char *env = std::getenv("CHAM_STRESS_OPS"))
+        return std::strtoull(env, nullptr, 0);
+    return 1'000'000;
+}
+
+enum class Org
+{
+    Flat,
+    Alloy,
+    Pom,
+    Cham,
+    ChamOpt,
+    Poly,
+};
+
+struct Rig
+{
+    std::unique_ptr<DramDevice> stacked;
+    std::unique_ptr<DramDevice> offchip;
+    std::unique_ptr<MemOrganization> org;
+    bool hasIsa = false;
+
+    Rig(Org which, std::uint64_t s_bytes, std::uint64_t o_bytes)
+    {
+        DramTimings st = stackedDramConfig();
+        st.capacity = s_bytes;
+        DramTimings ot = offchipDramConfig();
+        ot.capacity = o_bytes;
+        stacked = std::make_unique<DramDevice>(st);
+        offchip = std::make_unique<DramDevice>(ot);
+        PomConfig pc;
+        pc.swapThreshold = 2;
+        switch (which) {
+          case Org::Flat:
+            org = std::make_unique<FlatMemory>(stacked.get(),
+                                               offchip.get());
+            break;
+          case Org::Alloy:
+            org = std::make_unique<AlloyCache>(stacked.get(),
+                                               offchip.get());
+            break;
+          case Org::Pom:
+            org = std::make_unique<PomMemory>(stacked.get(),
+                                              offchip.get(), pc);
+            break;
+          case Org::Cham:
+            org = std::make_unique<ChameleonMemory>(stacked.get(),
+                                                    offchip.get(), pc);
+            hasIsa = true;
+            break;
+          case Org::ChamOpt:
+            org = std::make_unique<ChameleonOptMemory>(
+                stacked.get(), offchip.get(), pc);
+            hasIsa = true;
+            break;
+          case Org::Poly:
+            org = std::make_unique<PolymorphicMemory>(stacked.get(),
+                                                      offchip.get(),
+                                                      pc);
+            hasIsa = true;
+            break;
+        }
+        org->enableFunctional(true);
+    }
+};
+
+struct Param
+{
+    Org which;
+    std::uint64_t stackedBytes;
+    std::uint64_t offchipBytes;
+    const char *label;
+};
+
+class OracleStorm : public ::testing::TestWithParam<Param>
+{
+};
+
+} // namespace
+
+TEST_P(OracleStorm, MillionsOfMixedOpsStayClean)
+{
+    const Param p = GetParam();
+    Rig rig(p.which, p.stackedBytes, p.offchipBytes);
+
+    ShadowOracleConfig oc;
+    oc.panicOnViolation = false; // collect, report via gtest
+    ShadowOracle oracle(rig.org.get(), oc);
+    OracleIsaShim shim(rig.org.get(), &oracle);
+    oracle.reserve(rig.org->osVisibleBytes());
+
+    const std::uint64_t os_bytes = rig.org->osVisibleBytes();
+    const std::uint64_t seg = rig.org->isaSegmentBytes();
+    const std::uint64_t segs = os_bytes / seg;
+    const std::uint64_t ops = stressOps();
+
+    Rng rng(p.stackedBytes + p.offchipBytes);
+    std::vector<bool> allocated(segs, !rig.hasIsa);
+    Cycle t = 0;
+
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        const int op = static_cast<int>(rng.below(20));
+        if (rig.hasIsa && op == 0) {
+            const std::uint64_t s = rng.below(segs);
+            if (!allocated[s]) {
+                shim.isaAlloc(s * seg, ++t);
+                allocated[s] = true;
+            }
+        } else if (rig.hasIsa && op == 1) {
+            const std::uint64_t s = rng.below(segs);
+            if (allocated[s]) {
+                // Freed data is cleared by the hardware (§V-D2), so
+                // the shadow stops constraining it first.
+                oracle.invalidateRange(s * seg, seg);
+                shim.isaFree(s * seg, ++t);
+                allocated[s] = false;
+            }
+        } else {
+            const Addr a = rng.below(os_bytes / 64) * 64;
+            if (!allocated[a / seg])
+                continue; // the OS does not touch free memory
+            const bool write = rng.chance(0.35);
+            rig.org->access(a, write ? AccessType::Write
+                                     : AccessType::Read, ++t);
+            if (write) {
+                const std::uint64_t v = oracle.nextValue();
+                rig.org->functionalWrite(a, v);
+                oracle.recordStore(a, v);
+            } else {
+                oracle.checkLoad(a, rig.org->functionalRead(a));
+            }
+            oracle.onAccessDone(a);
+        }
+        if (i % 200'000 == 199'999)
+            oracle.fullCheck(false); // no OS attached at this level
+        if (!oracle.violationLog().empty())
+            break; // fail fast with the op index in scope
+    }
+    oracle.finalCheck();
+
+    for (const std::string &v : oracle.violationLog())
+        ADD_FAILURE() << p.label << ": " << v;
+    EXPECT_EQ(oracle.stats().violations, 0u);
+    // Accesses aimed at OS-free segments are skipped (roughly half of
+    // the address space in steady state), so well under `ops` land.
+    EXPECT_GE(oracle.stats().loads + oracle.stats().stores, ops / 4)
+        << "storm degenerated: too few memory operations";
+    EXPECT_GT(oracle.stats().loadChecks, 0u);
+    if (p.which != Org::Flat) {
+        EXPECT_GT(oracle.invariantChecksRun(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesignsAndRatios, OracleStorm,
+    ::testing::Values(
+        Param{Org::Flat, 64_KiB, 320_KiB, "flat-1to5"},
+        Param{Org::Alloy, 64_KiB, 320_KiB, "alloy-1to5"},
+        Param{Org::Pom, 64_KiB, 320_KiB, "pom-1to5"},
+        Param{Org::Cham, 64_KiB, 320_KiB, "cham-1to5"},
+        Param{Org::ChamOpt, 64_KiB, 320_KiB, "opt-1to5"},
+        Param{Org::Poly, 64_KiB, 320_KiB, "poly-1to5"},
+        Param{Org::Cham, 64_KiB, 448_KiB, "cham-1to7"},
+        Param{Org::ChamOpt, 96_KiB, 288_KiB, "opt-1to3"}),
+    [](const ::testing::TestParamInfo<Param> &info) {
+        std::string s = info.param.label;
+        for (auto &c : s)
+            if (c == '-')
+                c = '_';
+        return s;
+    });
+
+// ---------------------------------------------------------------------
+// System-level end-to-end: SystemConfig::oracle wires the shadow over
+// (process, virtual address) keys with page-fault invalidation and the
+// OS free-list agreement check. The oracle panics on violation, so a
+// passing run IS the assertion; the counters prove it actually ran.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+BenchOptions
+oracleOpts()
+{
+    BenchOptions o;
+    o.scale = 512; // 8MiB + 40MiB machine: fast
+    o.instrPerCore = 30'000;
+    o.minRefsPerCore = 3'000;
+    o.warmupFrac = 0.5;
+    o.oracle = true;
+    return o;
+}
+
+AppProfile
+stressApp()
+{
+    AppProfile p;
+    p.name = "oracle-stress";
+    p.llcMpki = 25.0;
+    p.footprintBytes = static_cast<std::uint64_t>(
+        0.8 * 24.0 * static_cast<double>(1_GiB)) / 512;
+    p.hotFraction = 0.05;
+    p.hotProbability = 0.9;
+    p.seqRunBlocks = 16.0;
+    p.writeFraction = 0.3;
+    return p;
+}
+
+} // namespace
+
+class OracleEndToEnd : public ::testing::TestWithParam<Design>
+{
+};
+
+TEST_P(OracleEndToEnd, RateWorkloadRunsCleanUnderOracle)
+{
+    const BenchOptions opts = oracleOpts();
+    const SystemConfig cfg = makeSystemConfig(GetParam(), opts);
+    ASSERT_TRUE(cfg.oracle);
+    const RunResult res = runRateWorkload(cfg, stressApp(), opts);
+    EXPECT_EQ(res.oracleViolations, 0u);
+    EXPECT_GT(res.oracleStores, 0u);
+    EXPECT_GT(res.oracleLoadChecks, 0u);
+    switch (GetParam()) {
+      case Design::Alloy:
+      case Design::Pom:
+      case Design::Chameleon:
+      case Design::ChameleonOpt:
+      case Design::Polymorphic:
+        EXPECT_GT(res.oracleInvariantChecks, 0u);
+        break;
+      default:
+        break; // flat designs have no remap metadata to check
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, OracleEndToEnd,
+    ::testing::Values(Design::FlatDdr, Design::NumaFlat, Design::Alloy,
+                      Design::Pom, Design::Chameleon,
+                      Design::ChameleonOpt, Design::Polymorphic),
+    [](const ::testing::TestParamInfo<Design> &info) {
+        std::string s = designLabel(info.param);
+        for (auto &c : s)
+            if (c == '-')
+                c = '_';
+        return s;
+    });
+
+TEST(OracleEndToEnd, AutoNumaMigrationsStayClean)
+{
+    // AutoNUMA migrates pages between nodes; the isaMigrate hook must
+    // relocate functional data or every migrated page reads back
+    // wrong. Uses an over-stacked footprint so migrations happen.
+    const BenchOptions opts = oracleOpts();
+    SystemConfig cfg = makeSystemConfig(Design::NumaFlat, opts);
+    cfg.runAutoNuma = true;
+    const RunResult res = runRateWorkload(cfg, stressApp(), opts);
+    EXPECT_EQ(res.oracleViolations, 0u);
+    EXPECT_GT(res.oracleStores, 0u);
+    EXPECT_GT(res.oracleLoadChecks, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Mutation self-tests: inject metadata corruption and prove detection.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** PomMemory with the protected SRT exposed for tampering. */
+struct TamperPom : PomMemory
+{
+    using PomMemory::PomMemory;
+    using PomMemory::table;
+};
+
+/** ChameleonMemory with SRT and augment state exposed. */
+struct TamperCham : ChameleonMemory
+{
+    using ChameleonMemory::ChameleonMemory;
+    using PomMemory::table;
+    using ChameleonMemory::aug;
+};
+
+/** Drive enough traffic that every segment holds known data. */
+template <typename OrgT>
+void
+writeEverything(OrgT &org, ShadowOracle &oracle, Cycle &t)
+{
+    const std::uint64_t os_bytes = org.osVisibleBytes();
+    for (Addr a = 0; a < os_bytes; a += 64) {
+        org.access(a, AccessType::Write, ++t);
+        const std::uint64_t v = oracle.nextValue();
+        org.functionalWrite(a, v);
+        oracle.recordStore(a, v);
+    }
+}
+
+} // namespace
+
+TEST(OracleMutation, DetectsNonPermutationSrtEntry)
+{
+    DramTimings st = stackedDramConfig();
+    st.capacity = 64_KiB;
+    DramTimings ot = offchipDramConfig();
+    ot.capacity = 320_KiB;
+    DramDevice stacked(st), offchip(ot);
+    TamperPom pom(&stacked, &offchip);
+
+    ShadowOracleConfig oc;
+    oc.panicOnViolation = false;
+    ShadowOracle oracle(&pom, oc);
+
+    EXPECT_TRUE(oracle.invariants().checkAll(false).empty());
+
+    // Clone one perm entry over another: two logical segments now
+    // claim the same physical slot.
+    pom.table[3].perm[1] = pom.table[3].perm[2];
+
+    const auto found = oracle.invariants().checkAll(false);
+    ASSERT_FALSE(found.empty());
+    EXPECT_NE(found[0].find("not a permutation"), std::string::npos)
+        << found[0];
+
+    // The targeted check covering that group sees it too.
+    const Addr in_group3 = 3 * pom.space().segmentBytes();
+    EXPECT_FALSE(oracle.invariants().checkAt(in_group3).empty());
+}
+
+TEST(OracleMutation, DetectsFlippedAbvBit)
+{
+    DramTimings st = stackedDramConfig();
+    st.capacity = 64_KiB;
+    DramTimings ot = offchipDramConfig();
+    ot.capacity = 320_KiB;
+    DramDevice stacked(st), offchip(ot);
+    TamperCham cham(&stacked, &offchip);
+    cham.enableFunctional(true);
+
+    ShadowOracleConfig oc;
+    oc.panicOnViolation = false;
+    ShadowOracle oracle(&cham, oc);
+    OracleIsaShim shim(&cham, &oracle);
+
+    // Allocate every segment: all groups in PoM mode, ABV all-ones.
+    Cycle t = 0;
+    const std::uint64_t seg = cham.isaSegmentBytes();
+    for (Addr a = 0; a < cham.osVisibleBytes(); a += seg)
+        shim.isaAlloc(a, ++t);
+    EXPECT_TRUE(oracle.invariants().checkAll(false).empty());
+
+    // Lose the stacked segment's allocation bit without a mode change
+    // — the free-list and remap-table views now disagree.
+    cham.aug[5].abv &= static_cast<std::uint8_t>(~1u);
+
+    const auto found = oracle.invariants().checkAll(false);
+    ASSERT_FALSE(found.empty());
+    EXPECT_NE(found[0].find("disagrees"), std::string::npos)
+        << found[0];
+}
+
+TEST(OracleMutation, DifferentialOracleCatchesCoherentSilentRemap)
+{
+    // The killer case for pure structural checking: swap two SRT
+    // mappings *coherently* (perm and inv stay mutually inverse) but
+    // move no data. Every invariant holds — only the differential
+    // shadow notices the segments now read each other's bytes.
+    DramTimings st = stackedDramConfig();
+    st.capacity = 64_KiB;
+    DramTimings ot = offchipDramConfig();
+    ot.capacity = 320_KiB;
+    DramDevice stacked(st), offchip(ot);
+    TamperPom pom(&stacked, &offchip);
+    pom.enableFunctional(true);
+
+    ShadowOracleConfig oc;
+    oc.panicOnViolation = false;
+    ShadowOracle oracle(&pom, oc);
+    oracle.reserve(pom.osVisibleBytes());
+
+    Cycle t = 0;
+    writeEverything(pom, oracle, t);
+
+    SrtEntry &e = pom.table[7];
+    std::swap(e.perm[1], e.perm[2]);
+    e.inv[e.perm[1]] = 1;
+    e.inv[e.perm[2]] = 2;
+
+    // Structurally still a clean permutation...
+    EXPECT_TRUE(oracle.invariants().checkAll(false).empty());
+
+    // ...but reading the remapped segments yields swapped contents.
+    const SegmentSpace &sp = pom.space();
+    std::uint64_t before = oracle.stats().violations;
+    for (std::uint32_t slot : {1u, 2u}) {
+        const Addr base = sp.homeAddr(7, slot);
+        for (Addr a = base; a < base + sp.segmentBytes(); a += 64)
+            oracle.checkLoad(a, pom.functionalRead(a));
+    }
+    EXPECT_GT(oracle.stats().violations, before);
+    ASSERT_FALSE(oracle.violationLog().empty());
+    EXPECT_NE(oracle.violationLog()[0].find("shadow mismatch"),
+              std::string::npos)
+        << oracle.violationLog()[0];
+}
+
+TEST(OracleMutation, DetectsVanishedBlock)
+{
+    // A block the shadow knows about must stay readable; erasing it
+    // from the functional layer (a lost writeback / clear-path bug)
+    // must trip the "vanished" report.
+    DramTimings st = stackedDramConfig();
+    st.capacity = 64_KiB;
+    DramTimings ot = offchipDramConfig();
+    ot.capacity = 320_KiB;
+    DramDevice stacked(st), offchip(ot);
+    FlatMemory flat(&stacked, &offchip);
+    flat.enableFunctional(true);
+
+    ShadowOracleConfig oc;
+    oc.panicOnViolation = false;
+    ShadowOracle oracle(&flat, oc);
+
+    oracle.recordStore(4096, 0xdead);
+    // Never written through the organization: the functional layer
+    // has no block there, so the read comes back absent.
+    oracle.checkLoad(4096, flat.functionalRead(4096));
+    ASSERT_EQ(oracle.violationLog().size(), 1u);
+    EXPECT_NE(oracle.violationLog()[0].find("vanished"),
+              std::string::npos);
+    // One-shot reporting: the dead block stops re-triggering.
+    oracle.checkLoad(4096, flat.functionalRead(4096));
+    EXPECT_EQ(oracle.violationLog().size(), 1u);
+}

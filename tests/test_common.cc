@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/log.hh"
 #include "common/rng.hh"
@@ -181,6 +182,71 @@ TEST(Stats, HistogramOverflow)
     EXPECT_EQ(h.bucket(h.buckets() - 1), 1u);
 }
 
+TEST(Stats, HistogramBucketBoundaries)
+{
+    // [0,2) [2,4) [4,6) + overflow: values exactly on a boundary
+    // belong to the bucket they open.
+    Histogram h(2.0, 3);
+    h.sample(0.0);
+    h.sample(1.9999);
+    h.sample(2.0);
+    h.sample(5.9999);
+    h.sample(6.0); // first value past the tracked range
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.bucket(3), 1u); // overflow bucket
+    EXPECT_EQ(h.samples(), 5u);
+}
+
+TEST(Stats, HistogramHostileSamples)
+{
+    // Negative, NaN, infinite and size_t-overflowing samples must not
+    // index out of bounds (the naive double->size_t cast is UB).
+    Histogram h(1.0, 4);
+    h.sample(-1.0);
+    h.sample(-1e300);
+    h.sample(std::nan(""));
+    EXPECT_EQ(h.bucket(0), 3u);
+    h.sample(1e300);
+    h.sample(std::numeric_limits<double>::infinity());
+    EXPECT_EQ(h.bucket(h.buckets() - 1), 2u);
+    EXPECT_EQ(h.samples(), 5u);
+}
+
+TEST(Stats, HistogramPercentileEdges)
+{
+    Histogram empty(1.0, 4);
+    EXPECT_EQ(empty.percentile(0.5), 0.0);
+    Histogram h(1.0, 4);
+    h.sample(2.5);
+    EXPECT_EQ(h.percentile(0.0), 0.0);
+    // The single sample sits in bucket [2,3).
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 3.0);
+}
+
+TEST(Stats, MeanTrackerSingleNegativeSample)
+{
+    // Regression guard: min/max must track the first sample even when
+    // it is negative (the n == 1 clause, not the 0.0 initializers).
+    MeanTracker t;
+    t.sample(-3.0);
+    EXPECT_DOUBLE_EQ(t.mean(), -3.0);
+    EXPECT_DOUBLE_EQ(t.min(), -3.0);
+    EXPECT_DOUBLE_EQ(t.max(), -3.0);
+    EXPECT_DOUBLE_EQ(t.total(), -3.0);
+}
+
+TEST(Stats, MeanTrackerResetForgetsExtremes)
+{
+    MeanTracker t;
+    t.sample(100.0);
+    t.reset();
+    t.sample(-5.0);
+    EXPECT_DOUBLE_EQ(t.max(), -5.0);
+    EXPECT_DOUBLE_EQ(t.min(), -5.0);
+}
+
 TEST(Stats, TextTableAlignsAndFormats)
 {
     TextTable t({"name", "v"});
@@ -225,4 +291,23 @@ TEST(Timeline, EmptySparkline)
 {
     Timeline t("e");
     EXPECT_EQ(t.sparkline(10), "");
+}
+
+TEST(Timeline, EmptyExtremesAreZero)
+{
+    Timeline t("e");
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.minValue(), 0.0);
+    EXPECT_EQ(t.maxValue(), 0.0);
+}
+
+TEST(Timeline, SingleNegativeSample)
+{
+    Timeline t("n");
+    t.sample(0, -2.5);
+    EXPECT_FALSE(t.empty());
+    EXPECT_DOUBLE_EQ(t.minValue(), -2.5);
+    EXPECT_DOUBLE_EQ(t.maxValue(), -2.5);
+    // A flat series still renders the requested width.
+    EXPECT_EQ(t.sparkline(8).size(), 8u);
 }

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Golden-stats regression test: a fixed miniature sweep (every design
+ * x one rate-mode app, fixed seed) is run through the SweepRunner
+ * --json path and compared field-by-field against a checked-in
+ * baseline. A silent behaviour change in the remap machinery, stream
+ * generation, OS paging or stats plumbing shows up here as a drifted
+ * metric long before anyone eyeballs a figure.
+ *
+ * Tolerances exist because geometric/zipf stream generation calls
+ * libm (log1p, pow) whose last-ulp rounding differs across libc
+ * builds, perturbing the reference streams slightly on other hosts.
+ * On the machine that generated the baseline the match is exact.
+ *
+ * Regenerate after an intentional change:
+ *   CHAM_GOLDEN_REGEN=1 ./tests/test_golden_stats
+ * then commit tests/golden/baseline.json with the change itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "sim/sweep_runner.hh"
+
+using namespace chameleon;
+
+#ifndef CHAM_GOLDEN_DIR
+#error "build must define CHAM_GOLDEN_DIR"
+#endif
+
+namespace
+{
+
+/** One parsed --json record (the fields worth pinning). */
+struct GoldenRec
+{
+    std::string design;
+    std::string app;
+    double ipc = 0.0;
+    double hitRate = 0.0;
+    double amal = 0.0;
+    std::uint64_t swaps = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t memRefs = 0;
+};
+
+std::string
+extractString(const std::string &line, const char *field)
+{
+    const std::string tag = std::string("\"") + field + "\": \"";
+    const auto at = line.find(tag);
+    if (at == std::string::npos)
+        return "";
+    const auto end = line.find('"', at + tag.size());
+    return line.substr(at + tag.size(), end - at - tag.size());
+}
+
+double
+extractNumber(const std::string &line, const char *field)
+{
+    const std::string tag = std::string("\"") + field + "\": ";
+    const auto at = line.find(tag);
+    if (at == std::string::npos)
+        return -1.0;
+    return std::strtod(line.c_str() + at + tag.size(), nullptr);
+}
+
+std::vector<GoldenRec>
+parseRecords(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<GoldenRec> recs;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find("\"design\"") == std::string::npos)
+            continue;
+        GoldenRec r;
+        r.design = extractString(line, "design");
+        r.app = extractString(line, "app");
+        r.ipc = extractNumber(line, "ipc");
+        r.hitRate = extractNumber(line, "hit_rate");
+        r.amal = extractNumber(line, "amal");
+        r.swaps =
+            static_cast<std::uint64_t>(extractNumber(line, "swaps"));
+        r.fills =
+            static_cast<std::uint64_t>(extractNumber(line, "fills"));
+        r.instructions = static_cast<std::uint64_t>(
+            extractNumber(line, "instructions"));
+        r.memRefs = static_cast<std::uint64_t>(
+            extractNumber(line, "mem_refs"));
+        recs.push_back(std::move(r));
+    }
+    return recs;
+}
+
+/** The pinned configuration. Changing ANY knob invalidates the golden
+ *  file — regenerate and commit it alongside. */
+BenchOptions
+goldenOpts()
+{
+    BenchOptions o;
+    o.scale = 512;
+    o.instrPerCore = 30'000;
+    o.minRefsPerCore = 3'000;
+    o.warmupFrac = 0.5;
+    o.seed = 1;
+    o.jobs = 2;
+    return o;
+}
+
+AppProfile
+goldenApp()
+{
+    AppProfile p;
+    p.name = "golden";
+    p.llcMpki = 25.0;
+    p.footprintBytes = static_cast<std::uint64_t>(
+        0.8 * 24.0 * static_cast<double>(1_GiB)) / 512;
+    p.hotFraction = 0.05;
+    p.hotProbability = 0.9;
+    p.seqRunBlocks = 16.0;
+    p.writeFraction = 0.3;
+    return p;
+}
+
+const std::vector<Design> goldenDesigns = {
+    Design::FlatDdr,   Design::NumaFlat,     Design::Alloy,
+    Design::Pom,       Design::Chameleon,    Design::ChameleonOpt,
+    Design::Polymorphic,
+};
+
+/** Relative-or-absolute closeness for counters. */
+::testing::AssertionResult
+counterNear(const char *what, std::uint64_t got, std::uint64_t want)
+{
+    const double rel =
+        want ? std::abs(static_cast<double>(got) -
+                        static_cast<double>(want)) /
+                   static_cast<double>(want)
+             : 0.0;
+    const std::uint64_t diff = got > want ? got - want : want - got;
+    if (diff <= 5 || rel <= 0.05)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << what << " drifted: golden " << want << ", got " << got;
+}
+
+} // namespace
+
+TEST(GoldenStats, SweepJsonMatchesBaseline)
+{
+    const std::string golden_path =
+        std::string(CHAM_GOLDEN_DIR) + "/baseline.json";
+    const std::string fresh_path = "golden_fresh.json";
+
+    setQuiet(true);
+    BenchOptions opts = goldenOpts();
+    opts.jsonPath = fresh_path;
+    const AppProfile app = goldenApp();
+
+    SweepRunner runner(opts);
+    for (Design d : goldenDesigns) {
+        runner.submit(designLabel(d), app.name, [d, app, opts] {
+            return runRateWorkload(makeSystemConfig(d, opts), app,
+                                   opts);
+        });
+    }
+    runner.collect(); // writes fresh_path
+
+    if (std::getenv("CHAM_GOLDEN_REGEN")) {
+        std::ifstream src(fresh_path, std::ios::binary);
+        std::ofstream dst(golden_path, std::ios::binary);
+        ASSERT_TRUE(src.good() && dst.good());
+        dst << src.rdbuf();
+        GTEST_SKIP() << "regenerated " << golden_path;
+    }
+
+    const std::vector<GoldenRec> want = parseRecords(golden_path);
+    const std::vector<GoldenRec> got = parseRecords(fresh_path);
+    ASSERT_FALSE(want.empty())
+        << "missing " << golden_path
+        << " — run with CHAM_GOLDEN_REGEN=1 to create it";
+    ASSERT_EQ(got.size(), want.size());
+    ASSERT_EQ(got.size(), goldenDesigns.size());
+
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        SCOPED_TRACE(want[i].design);
+        EXPECT_EQ(got[i].design, want[i].design);
+        EXPECT_EQ(got[i].app, want[i].app);
+        // Instruction targets are pure arithmetic: exact everywhere.
+        EXPECT_EQ(got[i].instructions, want[i].instructions);
+        EXPECT_NEAR(got[i].ipc, want[i].ipc,
+                    0.03 * want[i].ipc + 1e-6);
+        EXPECT_NEAR(got[i].hitRate, want[i].hitRate, 0.02);
+        EXPECT_NEAR(got[i].amal, want[i].amal,
+                    0.03 * want[i].amal + 0.5);
+        EXPECT_TRUE(counterNear("swaps", got[i].swaps, want[i].swaps));
+        EXPECT_TRUE(counterNear("fills", got[i].fills, want[i].fills));
+        EXPECT_TRUE(counterNear("mem_refs", got[i].memRefs,
+                                want[i].memRefs));
+    }
+    std::remove(fresh_path.c_str());
+}
