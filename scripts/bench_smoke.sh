@@ -33,4 +33,25 @@ grep -q '"jobs": 4' "$JSON" || {
     echo "bench_smoke: --json output lacks the jobs count" >&2
     exit 1
 }
+
+# Second pass: the same sweep with fault injection under the shadow
+# oracle. Correctable-dominated rates plus a stuck-at population must
+# leave every cell "ok" (the oracle aborts on any data divergence)
+# while the degradation counters actually move.
+"$BENCH" --scale 256 --instr 50000 --refs 2000 \
+    --jobs 4 --json "$JSON" --quiet --oracle \
+    --faults 1e-4 --fault-stuck 1e-3 --fault-spikes 0.05 > "$OUT"
+
+grep -q '"status": "ok"' "$JSON" || {
+    echo "bench_smoke: fault-injected sweep has no ok cells" >&2
+    exit 1
+}
+if grep -q '"status": "failed"\|"status": "timeout"' "$JSON"; then
+    echo "bench_smoke: fault-injected sweep lost cells" >&2
+    exit 1
+fi
+grep -q '"ecc_corrected": [1-9]' "$JSON" || {
+    echo "bench_smoke: fault injection produced no ECC events" >&2
+    exit 1
+}
 echo "bench_smoke: OK"

@@ -275,6 +275,13 @@ ChameleonMemory::isaFree(Addr seg_base, Cycle when)
         return;
     }
 
+    if (groupRetired(group)) {
+        // The OS is blacklisting the retired frame: the group stays
+        // pinned in PoM mode and the dead slot's contents are gone.
+        funcClear(slotLocation(group, 0), cfg.segmentBytes);
+        return;
+    }
+
     if (a.mode == GroupMode::Cache) {
         warn("chameleon: ISA-Free for already-free stacked segment "
              "in group %llu",
@@ -297,6 +304,21 @@ ChameleonMemory::isaFree(Addr seg_base, Cycle when)
     table[group].counter = 0;
     table[group].candidate = 0;
     ++chamData.freeTransitions;
+}
+
+bool
+ChameleonMemory::retireAt(Addr phys, Cycle when)
+{
+    const std::uint64_t group = segSpace.groupOf(phys);
+    if (groupRetired(group))
+        return false;
+    // Evict the cached off-chip segment (write back if dirty): its
+    // only copy may live in the dying stacked slot. Then pin the
+    // group in PoM mode — retired groups never re-enter cache mode,
+    // so nothing fills into the dead storage.
+    dropCached(group, when, false);
+    aug[group].mode = GroupMode::Pom;
+    return PomMemory::retireAt(phys, when);
 }
 
 Addr
@@ -322,6 +344,15 @@ ChameleonMemory::checkInvariants() const
         for (std::uint32_t s = 0; s < segSpace.slotsPerGroup(); ++s)
             if (e.inv[e.perm[s]] != s)
                 return false;
+        if (groupRetired(g)) {
+            // Retired groups are pinned in PoM mode with logical 0 in
+            // the dead stacked slot and nothing cached there.
+            if (a.mode != GroupMode::Pom || e.perm[0] != 0)
+                return false;
+            if (a.hasCached() || a.dirty)
+                return false;
+            continue;
+        }
         // Basic Chameleon: mode mirrors the stacked segment's ABV bit.
         if ((a.mode == GroupMode::Pom) != a.isAllocated(0))
             return false;

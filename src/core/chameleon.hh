@@ -59,6 +59,14 @@ class ChameleonMemory : public PomMemory
     void isaAlloc(Addr seg_base, Cycle when) override;
     void isaFree(Addr seg_base, Cycle when) override;
 
+    /**
+     * Retirement with cache-mode awareness: a cached segment is
+     * written back to its off-chip home before the stacked slot goes
+     * dead, and the group is pinned in PoM mode so it never caches
+     * into the retired storage again.
+     */
+    bool retireAt(Addr phys, Cycle when) override;
+
     const ChameleonStats &chamStats() const { return chamData; }
 
     /** Mode of one group (tests / Fig 16 distribution). */

@@ -80,6 +80,17 @@ ChameleonOptMemory::isaAlloc(Addr seg_base, Cycle when)
     const std::uint32_t logical = segSpace.slotOf(seg_base);
     SrrtAugment &a = aug[group];
 
+    if (groupRetired(group)) {
+        // Off-chip segments of a retired group remain allocatable;
+        // the group just stays pinned in PoM mode with its stacked
+        // slot dead. The stacked segment itself is blacklisted by the
+        // OS and never re-allocated.
+        a.setAllocated(logical, true);
+        if (logical != 0)
+            clearSegment(group, table[group].perm[logical]);
+        return;
+    }
+
     if (a.mode == GroupMode::Pom) {
         warn("chameleon-opt: ISA-Alloc in full group %llu",
              static_cast<unsigned long long>(group));
@@ -127,6 +138,14 @@ ChameleonOptMemory::isaFree(Addr seg_base, Cycle when)
     const bool was_pom = a.mode == GroupMode::Pom;
     a.setAllocated(logical, false);
 
+    if (groupRetired(group)) {
+        // Retired groups never transition back to cache mode; the
+        // freed segment's storage is simply cleared (the stacked
+        // slot's contents are already dead).
+        clearSegment(group, table[group].perm[logical]);
+        return;
+    }
+
     if (was_pom) {
         // PoM -> cache transition (Fig 14 flows through box 5): make
         // sure the stacked physical slot hosts the freed segment.
@@ -161,6 +180,13 @@ ChameleonOptMemory::checkInvariants() const
         for (std::uint32_t s = 0; s < segSpace.slotsPerGroup(); ++s)
             if (e.inv[e.perm[s]] != s)
                 return false;
+        if (groupRetired(g)) {
+            if (a.mode != GroupMode::Pom || e.perm[0] != 0)
+                return false;
+            if (a.hasCached() || a.dirty)
+                return false;
+            continue;
+        }
         // Opt: PoM mode exactly when every segment is allocated.
         if ((a.mode == GroupMode::Pom) !=
             a.allAllocated(segSpace.slotsPerGroup()))

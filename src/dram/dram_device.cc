@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "fault/fault_injector.hh"
 
 namespace chameleon
 {
@@ -107,8 +108,33 @@ DramDevice::access(Addr addr, AccessType type, Cycle when)
 
     // Serialize on the channel data bus.
     const Cycle xfer_start = std::max(data_ready, chan.busFreeAt);
-    const Cycle done = xfer_start + tBurstCpu;
+    Cycle done = xfer_start + tBurstCpu;
     chan.busFreeAt = done;
+
+    if (faults) {
+        // Channel latency spike: the data bus stalls, so the channel
+        // stays busy for the whole penalty.
+        const Cycle pen = faults->latencyPenalty(faultNode, chan_idx,
+                                                 when);
+        if (pen > 0) {
+            ++statsData.spikeDelays;
+            done += pen;
+            chan.busFreeAt = done;
+        }
+        switch (faults->eccSample(faultNode, addr, when)) {
+          case EccOutcome::Corrected:
+            done += faults->correctionLatency();
+            ++statsData.eccCorrected;
+            break;
+          case EccOutcome::Uncorrectable:
+            // Detected, not corrected: the access completes from the
+            // last-gasp readout; the segment is queued for retirement.
+            ++statsData.eccUncorrectable;
+            break;
+          case EccOutcome::None:
+            break;
+        }
+    }
 
     statsData.bytesTransferred += 64;
     if (type == AccessType::Read) {

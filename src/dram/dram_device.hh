@@ -23,6 +23,8 @@
 namespace chameleon
 {
 
+class FaultInjector;
+
 /** Aggregated counters exposed by a DramDevice. */
 struct DramStats
 {
@@ -32,6 +34,12 @@ struct DramStats
     std::uint64_t rowMisses = 0;
     std::uint64_t rowConflicts = 0;
     std::uint64_t refreshStalls = 0;
+    /** ECC single-bit errors corrected in-line (fault injection). */
+    std::uint64_t eccCorrected = 0;
+    /** ECC double-bit errors detected (fault injection). */
+    std::uint64_t eccUncorrectable = 0;
+    /** Accesses delayed by an injected channel latency spike. */
+    std::uint64_t spikeDelays = 0;
     /** Sum of (completion - arrival) over reads, CPU cycles. */
     std::uint64_t readLatencySum = 0;
     /** Total bytes moved over the data bus. */
@@ -96,6 +104,19 @@ class DramDevice
     const DramStats &stats() const { return statsData; }
     void resetStats() { statsData = DramStats(); }
 
+    /**
+     * Attach a fault injector: every demand access is then run
+     * through the ECC model (detect-and-correct single-bit, detect
+     * double-bit) and the per-channel latency-spike model. @p node
+     * tells the injector which site this device is.
+     */
+    void
+    setFaultInjector(FaultInjector *injector, MemNode node)
+    {
+        faults = injector;
+        faultNode = node;
+    }
+
     /** Convert memory-clock cycles to CPU cycles (rounded up). */
     Cycle
     memToCpu(double mem_cycles) const
@@ -146,6 +167,8 @@ class DramDevice
     Cycle refreshAdjust(Cycle start);
 
     DramTimings cfg;
+    FaultInjector *faults = nullptr;
+    MemNode faultNode = MemNode::OffChip;
     double cpuPerMemClock;
     Cycle tCasCpu, tRcdCpu, tRpCpu, tRasCpu, tBurstCpu;
     Cycle tRfcCpu, tRefiCpu;

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the simulated memory
+ * system.
+ *
+ * One FaultInjector per System models the failure modes a real
+ * stacked-DRAM part exhibits in the field, each individually rated
+ * and gated by site (stacked / off-chip) and phase (cycle window):
+ *
+ *  - transient single/double bit flips on 64B accesses (the ECC model
+ *    in DramDevice corrects singles and detects doubles);
+ *  - stuck-at segments: a deterministic subset of stacked segments
+ *    whose cells degrade, producing a correctable error on every
+ *    access until the repeat-offender threshold retires them;
+ *  - SRRT-entry corruption: the remapping metadata is ECC-protected
+ *    like data; correctable hits cost a re-fetch, uncorrectable ones
+ *    retire the affected group's stacked segment;
+ *  - per-channel latency spikes/timeouts: a channel's data bus stalls
+ *    for a window (thermal throttling, retraining); penalties at or
+ *    beyond timeoutCycles are counted as timeouts.
+ *
+ * Everything derives from the seed: the same (config, access
+ * sequence) replays the same faults bit-for-bit, so fault runs stay
+ * deterministic across --jobs counts and are replayable in tests.
+ * Uncorrectable errors are modeled as *detected* with a last-gasp
+ * readout succeeding during retirement, so even uncorrectable-rate
+ * runs stay value-correct under the shadow oracle; what degrades is
+ * capacity and latency, never silently data.
+ *
+ * Thread-compatible, not thread-safe: one injector per System.
+ */
+
+#ifndef CHAMELEON_FAULT_FAULT_INJECTOR_HH
+#define CHAMELEON_FAULT_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace chameleon
+{
+
+/** Fault-injection rates, sites and phase window. */
+struct FaultConfig
+{
+    /** Master switch; a disabled injector is never constructed. */
+    bool enabled = false;
+    /** Mixed into every deterministic draw. */
+    std::uint64_t seed = 1;
+
+    /** Per-64B-access probability of a transient bit flip. */
+    double transientFlipRate = 0.0;
+    /** Fraction of flips that hit two bits (uncorrectable). */
+    double doubleFlipFraction = 0.0;
+    /** Fraction of stacked segments that are stuck-at from boot. */
+    double stuckSegmentFraction = 0.0;
+    /** Per-SRT-lookup probability of a metadata ECC event. */
+    double srrtCorruptionRate = 0.0;
+    /** Fraction of SRRT events that are uncorrectable. */
+    double srrtUncorrectableFraction = 0.0;
+
+    /** Per-(channel, window) probability of a latency spike. */
+    double spikeRate = 0.0;
+    /** Base extra latency of a spike, CPU cycles. */
+    Cycle spikeCycles = 2'000;
+    /** Spike window granularity, CPU cycles. */
+    Cycle spikeWindowCycles = 100'000;
+    /** Penalties at or beyond this count as timeouts. */
+    Cycle timeoutCycles = 10'000;
+
+    /** Extra latency of an ECC single-bit correction, CPU cycles. */
+    Cycle eccCorrectionCycles = 8;
+    /** Corrected errors on one segment before it is retired. */
+    std::uint32_t retireThreshold = 16;
+
+    /** Phase gate: faults inject only in [startCycle, endCycle). */
+    Cycle startCycle = 0;
+    Cycle endCycle = ~static_cast<Cycle>(0);
+
+    /** Site gates. Retirement is only modeled for stacked segments. */
+    bool faultStacked = true;
+    bool faultOffchip = false;
+};
+
+/** Outcome of the ECC check on one 64B access. */
+enum class EccOutcome : std::uint8_t
+{
+    None,          ///< no error injected
+    Corrected,     ///< single-bit error, corrected in-line
+    Uncorrectable, ///< double-bit error, detected; segment retires
+};
+
+/** Outcome of the ECC check on one SRRT metadata lookup. */
+enum class MetaOutcome : std::uint8_t
+{
+    None,
+    Corrected,     ///< entry re-fetched from its stored copy
+    Uncorrectable, ///< entry unrecoverable; group retires
+};
+
+/** Injector counters. */
+struct FaultStats
+{
+    std::uint64_t flipsInjected = 0;
+    std::uint64_t doubleFlips = 0;
+    std::uint64_t stuckHits = 0;
+    std::uint64_t srrtCorrected = 0;
+    std::uint64_t srrtUncorrectable = 0;
+    /** Accesses delayed by a channel latency spike. */
+    std::uint64_t spikeDelays = 0;
+    /** Spike penalties that reached timeoutCycles. */
+    std::uint64_t timeouts = 0;
+    /** Segment retirements queued (deduplicated per segment). */
+    std::uint64_t retirementsRequested = 0;
+};
+
+/** Deterministic fault source shared by the devices and the SRRT. */
+class FaultInjector
+{
+  public:
+    /**
+     * @param config         Rates / sites / phase.
+     * @param stacked_bytes  Stacked device capacity (0 = none).
+     * @param segment_bytes  Segment size for stuck/retire tracking.
+     */
+    FaultInjector(const FaultConfig &config, std::uint64_t stacked_bytes,
+                  std::uint64_t segment_bytes);
+
+    /** True while the phase gate admits faults at @p when. */
+    bool
+    active(Cycle when) const
+    {
+        return when >= cfg.startCycle && when < cfg.endCycle;
+    }
+
+    /**
+     * Sample the ECC outcome of one 64B access at device-local
+     * @p addr of @p node. Stuck segments return Corrected on every
+     * access; transient flips follow the configured rates. Repeat
+     * offenders and uncorrectable hits queue a retirement request for
+     * the containing stacked segment (off-chip errors only count).
+     */
+    EccOutcome eccSample(MemNode node, Addr addr, Cycle when);
+
+    /**
+     * Sample the metadata ECC outcome of one SRT lookup for @p group.
+     * Uncorrectable outcomes queue the group's stacked segment for
+     * retirement (the caller charges the re-fetch latency).
+     */
+    MetaOutcome srtSample(std::uint64_t group, Cycle when);
+
+    /**
+     * Extra data-bus latency for an access on @p channel of @p node
+     * at @p when; 0 outside a spike window. Deterministic in
+     * (seed, node, channel, window) — independent of access order.
+     */
+    Cycle latencyPenalty(MemNode node, std::uint32_t channel,
+                         Cycle when);
+
+    /** Queue the stacked segment at @p seg_base for retirement. */
+    void requestRetirement(Addr seg_base);
+
+    /**
+     * Drain the pending retirement queue (stacked-device segment base
+     * addresses, each reported exactly once).
+     */
+    std::vector<Addr> takeRetirements();
+
+    /**
+     * Mark the stacked segment at @p seg_base retired: it stops
+     * producing fault events (its storage is dead and unreferenced).
+     */
+    void markRetired(Addr seg_base);
+
+    bool isStuck(Addr seg_base) const;
+    bool isRetired(Addr seg_base) const;
+
+    /** Extra latency of a single-bit correction, CPU cycles. */
+    Cycle correctionLatency() const { return cfg.eccCorrectionCycles; }
+
+    const FaultConfig &config() const { return cfg; }
+    const FaultStats &stats() const { return statsData; }
+
+    /** Number of stuck segments selected at construction. */
+    std::uint64_t stuckSegments() const { return stuckCount; }
+
+  private:
+    static constexpr std::uint8_t flagStuck = 1u << 0;
+    static constexpr std::uint8_t flagRetired = 1u << 1;
+    static constexpr std::uint8_t flagPending = 1u << 2;
+
+    bool siteEnabled(MemNode node) const
+    {
+        return node == MemNode::Stacked ? cfg.faultStacked
+                                        : cfg.faultOffchip;
+    }
+
+    std::uint64_t segOf(Addr addr) const { return addr / segBytes; }
+
+    /** Count a corrected error against a segment's retire budget. */
+    void repeatOffense(std::uint64_t seg);
+
+    FaultConfig cfg;
+    std::uint64_t segBytes;
+    std::uint64_t numSegs;
+    Rng rng;
+
+    /** Per-stacked-segment flags and corrected-error counts. */
+    std::vector<std::uint8_t> segFlags;
+    std::vector<std::uint32_t> correctedCount;
+    std::vector<Addr> pending;
+    std::uint64_t stuckCount = 0;
+    FaultStats statsData;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_FAULT_FAULT_INJECTOR_HH

@@ -33,6 +33,8 @@
 namespace chameleon
 {
 
+class FaultInjector;
+
 /** Result of one demand access through an organization. */
 struct MemAccessResult
 {
@@ -124,6 +126,26 @@ class MemOrganization : public IsaListener
     const MemOrgStats &stats() const { return statsData; }
     void resetStats();
 
+    /**
+     * Retire the stacked segment backing OS-visible address @p phys:
+     * evict/write back any cached or swapped-in data it holds, pin
+     * its group out of cache mode and stop using its storage. Returns
+     * true if the organization retired it (false: not applicable, or
+     * already retired). Organizations without remappable stacked
+     * segments (flat, Alloy) ignore the request; the OS-level frame
+     * blacklist still applies.
+     */
+    virtual bool retireAt(Addr /*phys*/, Cycle /*when*/)
+    {
+        return false;
+    }
+
+    /** Stacked segments retired so far (capacity degradation). */
+    virtual std::uint64_t retiredSegmentCount() const { return 0; }
+
+    /** Attach the fault injector (SRRT metadata ECC sampling). */
+    void setFaultInjector(FaultInjector *injector) { faults = injector; }
+
     /** Enable the functional data layer (tests). */
     void enableFunctional(bool on) { functionalOn = on; }
     bool functionalEnabled() const { return functionalOn; }
@@ -195,6 +217,7 @@ class MemOrganization : public IsaListener
 
     DramDevice *stacked;
     DramDevice *offchip;
+    FaultInjector *faults = nullptr;
     MemOrgStats statsData;
 
   private:

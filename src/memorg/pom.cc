@@ -1,6 +1,7 @@
 #include "memorg/pom.hh"
 
 #include "common/log.hh"
+#include "fault/fault_injector.hh"
 
 namespace chameleon
 {
@@ -10,7 +11,7 @@ PomMemory::PomMemory(DramDevice *stacked_dev, DramDevice *offchip_dev,
     : MemOrganization(stacked_dev, offchip_dev), cfg(config),
       segSpace(stacked_dev ? stacked_dev->capacity() : 0,
                offchip_dev->capacity(), config.segmentBytes),
-      table(segSpace.numGroups())
+      table(segSpace.numGroups()), retiredG(segSpace.numGroups(), 0)
 {
     if (!stacked)
         fatal("PomMemory: needs a stacked device");
@@ -22,12 +23,32 @@ PomMemory::PomMemory(DramDevice *stacked_dev, DramDevice *offchip_dev,
 Cycle
 PomMemory::srtLookup(std::uint64_t group, Cycle when)
 {
+    Cycle ready = when + cfg.srtLatency;
+    if (faults) {
+        // The remapping metadata is ECC-protected like data. A
+        // correctable hit re-fetches the entry from its stored copy
+        // in stacked DRAM; an uncorrectable one loses the entry and
+        // the group's stacked segment is queued for retirement (the
+        // slot assignment is rebuilt from the segments' self-identity
+        // during the retirement readout).
+        switch (faults->srtSample(group, when)) {
+          case MetaOutcome::Corrected:
+            ready = stacked->access((group * 64) % stacked->capacity(),
+                                    AccessType::Read, ready);
+            break;
+          case MetaOutcome::Uncorrectable:
+            ready += faults->correctionLatency();
+            break;
+          case MetaOutcome::None:
+            break;
+        }
+    }
     if (srtCache.empty())
-        return when + cfg.srtLatency; // ideal SRAM table
+        return ready; // ideal SRAM table
     const std::size_t idx = group % srtCache.size();
     if (srtCache[idx] == group) {
         ++srtHits;
-        return when + cfg.srtLatency;
+        return ready;
     }
     ++srtMisses;
     srtCache[idx] = group;
@@ -35,8 +56,27 @@ PomMemory::srtLookup(std::uint64_t group, Cycle when)
     // before the data access can be routed ([25] stores the SRT in
     // stacked DRAM). The metadata row is derived from the group id.
     const Addr meta = (group * 64) % stacked->capacity();
-    return stacked->access(meta, AccessType::Read,
-                           when + cfg.srtLatency);
+    return stacked->access(meta, AccessType::Read, ready);
+}
+
+bool
+PomMemory::retireAt(Addr phys, Cycle when)
+{
+    const std::uint64_t group = segSpace.groupOf(phys);
+    if (retiredG[group])
+        return false;
+    SrtEntry &e = table[group];
+    // Put logical 0 into the stacked slot: its OS-visible home frame
+    // is the one the OS blacklists, so the dead storage ends up
+    // holding the segment nothing will reference again. inv[0] != 0
+    // implies perm[0] != 0, so the swap is never degenerate.
+    if (e.inv[0] != 0)
+        hotSwap(group, 0, e.inv[0], when);
+    e.counter = 0;
+    e.candidate = 0;
+    retiredG[group] = 1;
+    ++retiredCount;
+    return true;
 }
 
 std::uint64_t
@@ -182,7 +222,7 @@ void
 PomMemory::counterUpdate(std::uint64_t group, std::uint32_t logical,
                          Addr phys, Cycle when)
 {
-    if (!cfg.enableHotSwaps)
+    if (!cfg.enableHotSwaps || retiredG[group])
         return;
     SrtEntry &e = table[group];
     if (cfg.burstCounter &&

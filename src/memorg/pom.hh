@@ -118,6 +118,25 @@ class PomMemory : public MemOrganization
     const SegmentSpace &space() const { return segSpace; }
     const PomConfig &pomConfig() const { return cfg; }
 
+    /**
+     * Retire a group's stacked segment: make sure logical 0 occupies
+     * the dead stacked slot (its home frame is what the OS
+     * blacklists), then pin the group — no further hot swaps. All
+     * slots keep resolving, so any straggler access still completes.
+     */
+    bool retireAt(Addr phys, Cycle when) override;
+    std::uint64_t retiredSegmentCount() const override
+    {
+        return retiredCount;
+    }
+
+    /** True once @p group's stacked segment has been retired. */
+    bool
+    groupRetired(std::uint64_t group) const
+    {
+        return retiredG[group] != 0;
+    }
+
     /** SRT entry inspection (tests/benches). */
     const SrtEntry &entry(std::uint64_t group) const
     {
@@ -190,6 +209,10 @@ class PomMemory : public MemOrganization
     PomConfig cfg;
     SegmentSpace segSpace;
     std::vector<SrtEntry> table;
+
+    /** Per-group retired flag (the stacked slot's storage is dead). */
+    std::vector<std::uint8_t> retiredG;
+    std::uint64_t retiredCount = 0;
 
     /** Direct-mapped SRT cache: group id per entry (or ~0). */
     std::vector<std::uint64_t> srtCache;

@@ -267,4 +267,49 @@ FrameAllocator::isAllocated(Addr base) const
     return frameStates[base / pageBytes] == FrameState::InUse;
 }
 
+void
+FrameAllocator::retireFrame(Addr base)
+{
+    if (base % pageBytes != 0 || base >= capacity())
+        panic("FrameAllocator: bad frame retire %#llx",
+              static_cast<unsigned long long>(base));
+    const std::uint64_t frame = frameOf(base);
+    if (frameStates[frame] == FrameState::Retired)
+        return;
+    if (frameStates[frame] == FrameState::InUse)
+        panic("FrameAllocator: retiring in-use frame %#llx",
+              static_cast<unsigned long long>(base));
+    const std::uint64_t chunk = chunkOf(base);
+    Zone &z = zoneRef(nodeOf(base));
+    if (chunkStates[chunk] == ChunkState::HugeInUse)
+        panic("FrameAllocator: retiring frame of a live huge page");
+    if (chunkStates[chunk] == ChunkState::Free) {
+        // Break the containing chunk so the other 511 frames stay
+        // usable as base pages.
+        std::erase(z.freeChunks, chunk);
+        chunkStates[chunk] = ChunkState::Broken;
+        const Addr chunk_base = chunk * hugePageBytes;
+        for (std::uint64_t f = 0; f < framesPerChunk; ++f) {
+            const Addr fb = chunk_base + f * pageBytes;
+            if (fb != base)
+                z.freeFrames.push_back(fb);
+        }
+    } else {
+        std::erase(z.freeFrames, base);
+    }
+    frameStates[frame] = FrameState::Retired;
+    // The chunk's free-frame count excludes the retired frame, so it
+    // can never reach framesPerChunk again: compact() will never
+    // re-assemble this chunk into a huge page.
+    --chunkFreeFrames[chunk];
+    --z.freePageCount;
+    ++statsData.retiredFrames;
+}
+
+bool
+FrameAllocator::isRetired(Addr base) const
+{
+    return frameStates[base / pageBytes] == FrameState::Retired;
+}
+
 } // namespace chameleon

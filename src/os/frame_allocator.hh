@@ -68,6 +68,8 @@ struct FrameAllocatorStats
     std::uint64_t hugeFrees = 0;
     std::uint64_t compactions = 0;
     std::uint64_t failedAllocs = 0;
+    /** Frames permanently blacklisted after hardware retirement. */
+    std::uint64_t retiredFrames = 0;
 };
 
 /** Two-zone physical memory allocator. */
@@ -126,6 +128,18 @@ class FrameAllocator
     /** True if the 4KiB frame at @p base is currently allocated. */
     bool isAllocated(Addr base) const;
 
+    /**
+     * Permanently blacklist the free 4KiB frame at @p base (hardware
+     * segment retirement): it leaves the free lists and is never
+     * handed out again, and its chunk can never be re-assembled into
+     * a huge page. The frame must not be in use — the OS evicts any
+     * resident page before retiring. Idempotent.
+     */
+    void retireFrame(Addr base);
+
+    /** True if the frame at @p base has been retired. */
+    bool isRetired(Addr base) const;
+
     const FrameAllocatorStats &stats() const { return statsData; }
     const FrameAllocatorConfig &config() const { return cfg; }
 
@@ -137,7 +151,7 @@ class FrameAllocator
         HugeInUse,  ///< Allocated as one 2MiB huge page.
     };
 
-    enum class FrameState : std::uint8_t { Free, InUse };
+    enum class FrameState : std::uint8_t { Free, InUse, Retired };
 
     struct Zone
     {

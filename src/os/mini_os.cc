@@ -358,6 +358,47 @@ MiniOs::migratePage(ProcId pid, std::uint64_t vpn, MemNode target,
     return true;
 }
 
+void
+MiniOs::isaRetire(Addr frame_base, Cycle when)
+{
+    ++statsData.isaRetires;
+    if (frames.isRetired(frame_base))
+        return;
+    if (frames.isAllocated(frame_base)) {
+        // Evict the page resident in the failing frame, exactly like
+        // a reclaim victim: its contents survive on swap and fault
+        // back into a healthy frame on next touch.
+        for (auto &entry : residentList) {
+            if (!entry.valid)
+                continue;
+            Process &proc = processes[entry.pid];
+            Pte &pte = proc.ptes[entry.vpn];
+            if (pte.pfn != frame_base)
+                continue;
+            if (pte.huge) {
+                const Addr huge_base = pte.pfn & ~(hugePageBytes - 1);
+                frames.splitHuge(huge_base);
+                const std::uint64_t vpn_base =
+                    entry.vpn & ~(framesPerChunk - 1);
+                for (std::uint64_t i = 0; i < framesPerChunk; ++i) {
+                    if (vpn_base + i < proc.ptes.size())
+                        proc.ptes[vpn_base + i].huge = false;
+                }
+                std::erase(proc.hugeFrames, huge_base);
+            }
+            pte.resident = false;
+            pte.onDisk = true;
+            pte.pfn = invalidAddr;
+            removeFromClock(pte);
+            frames.freePage(frame_base);
+            emitFrees(frame_base, pageBytes, when);
+            ++statsData.swapOuts;
+            break;
+        }
+    }
+    frames.retireFrame(frame_base);
+}
+
 std::optional<MemNode>
 MiniOs::pageNode(ProcId pid, std::uint64_t vpn) const
 {

@@ -57,6 +57,8 @@ struct OsStats
     std::uint64_t migrationFailures = 0;
     std::uint64_t thpAllocs = 0;
     std::uint64_t thpFallbacks = 0;
+    /** ISA-Retire events handled (hardware segment retirement). */
+    std::uint64_t isaRetires = 0;
 };
 
 /** Outcome of one address translation. */
@@ -118,6 +120,15 @@ class MiniOs
 
     /** Zone that currently backs @p pid's page, if resident. */
     std::optional<MemNode> pageNode(ProcId pid, std::uint64_t vpn) const;
+
+    /**
+     * ISA-Retire: the hardware reports the 4KiB frame at
+     * @p frame_base as failed. Any page resident in it is evicted to
+     * swap (it will major-fault back into a healthy frame on next
+     * touch), then the frame is permanently blacklisted in the
+     * allocator. Idempotent.
+     */
+    void isaRetire(Addr frame_base, Cycle when);
 
     /** Number of pages in @p pid's VA space. */
     std::uint64_t pageCount(ProcId pid) const;

@@ -52,6 +52,36 @@ parseBenchArgs(int argc, char **argv)
                 fatal("--json requires a non-empty path");
         } else if (flag == "--oracle") {
             opts.oracle = true;
+        } else if (flag == "--faults") {
+            if (i + 1 >= argc)
+                fatal("missing value for --faults");
+            opts.faultRate = std::strtod(argv[++i], nullptr);
+        } else if (flag == "--fault-stuck") {
+            if (i + 1 >= argc)
+                fatal("missing value for --fault-stuck");
+            opts.faultStuck = std::strtod(argv[++i], nullptr);
+        } else if (flag == "--fault-spikes") {
+            if (i + 1 >= argc)
+                fatal("missing value for --fault-spikes");
+            opts.faultSpikes = std::strtod(argv[++i], nullptr);
+        } else if (flag == "--checkpoint") {
+            if (i + 1 >= argc)
+                fatal("missing value for --checkpoint");
+            opts.checkpointPath = argv[++i];
+            if (opts.checkpointPath.empty())
+                fatal("--checkpoint requires a non-empty path");
+        } else if (flag == "--timeout") {
+            if (i + 1 >= argc)
+                fatal("missing value for --timeout");
+            opts.cellTimeoutSec = std::strtod(argv[++i], nullptr);
+            if (opts.cellTimeoutSec < 0.0)
+                fatal("--timeout must be non-negative");
+        } else if (flag == "--retries") {
+            const std::uint64_t n = next_val();
+            if (n > 100)
+                fatal("--retries %llu is not plausible (max 100)",
+                      static_cast<unsigned long long>(n));
+            opts.maxRetries = static_cast<unsigned>(n);
         } else if (flag == "--quiet") {
             setQuiet(true);
         } else if (flag == "--help") {
@@ -59,7 +89,9 @@ parseBenchArgs(int argc, char **argv)
                 stderr,
                 "flags: --scale N --instr N --refs N --seed N "
                 "--stacked-gib N --offchip-gib N --jobs N "
-                "--json PATH --oracle --quiet\n");
+                "--json PATH --oracle --quiet "
+                "--faults R --fault-stuck F --fault-spikes R "
+                "--checkpoint PATH --timeout SEC --retries N\n");
             std::exit(0);
         } else if (flag.rfind("--benchmark", 0) == 0) {
             // Tolerate google-benchmark runner flags.
@@ -77,6 +109,9 @@ parseBenchArgs(int argc, char **argv)
         fatal("--instr 0 with --refs 0 leaves nothing to run");
     if (opts.warmupFrac < 0.0)
         fatal("--warmup-frac must be non-negative");
+    for (double r : {opts.faultRate, opts.faultStuck, opts.faultSpikes})
+        if (r < 0.0 || r > 1.0)
+            fatal("fault rates must lie in [0, 1]");
     return opts;
 }
 
@@ -90,6 +125,22 @@ makeSystemConfig(Design design, const BenchOptions &opts)
     cfg.offchipFullBytes = opts.offchipFullGiB * 1_GiB;
     cfg.seed = opts.seed;
     cfg.oracle = opts.oracle;
+    if (opts.faultsRequested()) {
+        cfg.faults.enabled = true;
+        cfg.faults.seed = opts.seed;
+        cfg.faults.transientFlipRate = opts.faultRate;
+        // A small share of flips hit two bits, and the SRRT metadata
+        // sees roughly a tenth of the data-path event rate (it is a
+        // much smaller SRAM/DRAM footprint); 1% of either kind is
+        // uncorrectable and drives segment retirement.
+        cfg.faults.doubleFlipFraction = opts.faultRate > 0.0 ? 0.01
+                                                             : 0.0;
+        cfg.faults.srrtCorruptionRate = opts.faultRate / 10.0;
+        cfg.faults.srrtUncorrectableFraction =
+            opts.faultRate > 0.0 ? 0.01 : 0.0;
+        cfg.faults.stuckSegmentFraction = opts.faultStuck;
+        cfg.faults.spikeRate = opts.faultSpikes;
+    }
     return cfg;
 }
 

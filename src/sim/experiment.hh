@@ -18,6 +18,19 @@
  *   --oracle    run under the shadow-memory differential oracle +
  *               invariant checker (verify/); aborts on any violation.
  *               Slower and memory-hungry; see EXPERIMENTS.md
+ *   --faults R        inject transient bit flips at rate R per 64B
+ *                     access (plus SRRT metadata ECC events at R/10);
+ *                     see src/fault/ and EXPERIMENTS.md
+ *   --fault-stuck F   fraction of stacked segments stuck-at from boot
+ *   --fault-spikes R  per-(channel, window) latency-spike probability
+ *   --checkpoint P    persist completed sweep cells to P; an
+ *                     interrupted sweep resumes from it
+ *   --timeout S       per-cell wall-clock timeout in seconds
+ *                     (0 = none); timed-out cells report
+ *                     "status": "timeout" instead of poisoning the
+ *                     sweep
+ *   --retries N       re-run a throwing cell up to N times with
+ *                     exponential backoff before marking it failed
  */
 
 #ifndef CHAMELEON_SIM_EXPERIMENT_HH
@@ -53,6 +66,26 @@ struct BenchOptions
     std::string jsonPath;
     /** Run every system under the shadow oracle (SystemConfig::oracle). */
     bool oracle = false;
+
+    /** Transient bit-flip rate per 64B access (0 = no injection). */
+    double faultRate = 0.0;
+    /** Fraction of stacked segments stuck-at from boot. */
+    double faultStuck = 0.0;
+    /** Per-(channel, window) latency-spike probability. */
+    double faultSpikes = 0.0;
+    /** Sweep checkpoint file; empty = disabled. */
+    std::string checkpointPath;
+    /** Per-cell wall-clock timeout, seconds (0 = none). */
+    double cellTimeoutSec = 0.0;
+    /** Retries per throwing cell before it is marked failed. */
+    unsigned maxRetries = 0;
+
+    bool
+    faultsRequested() const
+    {
+        return faultRate > 0.0 || faultStuck > 0.0 ||
+               faultSpikes > 0.0;
+    }
 };
 
 /** Parse the common bench flags; unknown flags are fatal. */

@@ -57,10 +57,22 @@ System::System(const SystemConfig &config) : cfg(config)
             std::make_unique<OracleIsaShim>(org.get(), oracle.get());
     }
 
+    if (cfg.faults.enabled) {
+        injector = std::make_unique<FaultInjector>(
+            cfg.faults, stackedDev ? stackedDev->capacity() : 0,
+            cfg.pom.segmentBytes);
+        if (stackedDev)
+            stackedDev->setFaultInjector(injector.get(),
+                                         MemNode::Stacked);
+        offchipDev->setFaultInjector(injector.get(), MemNode::OffChip);
+        org->setFaultInjector(injector.get());
+    }
+
     // The OS address space must equal what the organization exposes:
     // cache designs hide the stacked capacity, PoM designs expose it.
     const bool stacked_visible =
         org->osVisibleBytes() > offchipDev->capacity();
+    stackedOsVisible = stacked_visible;
     FrameAllocatorConfig fac;
     fac.stackedBytes = stacked_visible ? cfg.stackedBytes() : 0;
     fac.offchipBytes = offchipDev->capacity();
@@ -261,11 +273,39 @@ System::runPhase(std::uint64_t retire_target)
                 oracle->fullCheck(true);
         }
 
+        if (injector)
+            drainRetirements(core.now());
+
         if (core.retired() >= retire_target) {
             core.drain();
             done[c] = true;
             --active;
         }
+    }
+}
+
+void
+System::drainRetirements(Cycle when)
+{
+    const auto batch = injector->takeRetirements();
+    for (Addr seg_base : batch) {
+        // Retirement is frame-granular: the OS blacklists whole 4KiB
+        // frames, so every stacked segment sharing the frame goes
+        // with the one that failed.
+        const Addr frame_base = seg_base & ~(pageBytes - 1);
+        const std::uint64_t seg = cfg.pom.segmentBytes;
+        for (Addr off = 0; off < pageBytes; off += seg) {
+            injector->markRetired(frame_base + off);
+            org->retireAt(frame_base + off, when);
+        }
+        // ISA-Retire: the OS evicts whatever is resident in the frame
+        // and permanently blacklists it. Cache-style designs (Alloy)
+        // keep the stacked range invisible to the OS; for them the
+        // hardware-side retirement above is the whole story.
+        if (stackedOsVisible)
+            miniOs->isaRetire(frame_base, when);
+        if (firstRetireCycle == noRetireCycle)
+            firstRetireCycle = when;
     }
 }
 
@@ -336,6 +376,29 @@ System::run(std::uint64_t instr_per_core, std::uint64_t warmup_per_core)
         res.oracleLoadChecks = os.loadChecks;
         res.oracleInvariantChecks = oracle->invariantChecksRun();
         res.oracleViolations = os.violations;
+    }
+    if (injector) {
+        const FaultStats &fs = injector->stats();
+        res.eccCorrected = offchipDev->stats().eccCorrected;
+        res.eccUncorrectable = offchipDev->stats().eccUncorrectable;
+        if (stackedDev) {
+            res.eccCorrected += stackedDev->stats().eccCorrected;
+            res.eccUncorrectable +=
+                stackedDev->stats().eccUncorrectable;
+        }
+        res.faultSpikes = fs.spikeDelays;
+        res.faultTimeouts = fs.timeouts;
+        res.retiredSegments = org->retiredSegmentCount();
+        res.retiredBytes =
+            res.retiredSegments * cfg.pom.segmentBytes;
+        if (firstRetireCycle != noRetireCycle) {
+            Cycle end = 0;
+            for (const auto &core : cores)
+                end = std::max(end, core.now());
+            res.degradedCycles = end > firstRetireCycle
+                                     ? end - firstRetireCycle
+                                     : 0;
+        }
     }
     return res;
 }

@@ -14,6 +14,7 @@
 
 #include "cpu/core_model.hh"
 #include "dram/dram_device.hh"
+#include "fault/fault_injector.hh"
 #include "memorg/mem_organization.hh"
 #include "memorg/pom.hh"
 #include "os/autonuma.hh"
@@ -83,6 +84,15 @@ struct SystemConfig
      */
     bool oracle = false;
 
+    /**
+     * Fault injection (src/fault). When enabled, a per-System
+     * FaultInjector drives the devices' ECC/latency-spike models and
+     * the SRRT metadata ECC, and uncorrectable or repeat-offender
+     * stacked segments are retired end-to-end (hardware eviction +
+     * ISA-Retire into the OS frame blacklist).
+     */
+    FaultConfig faults;
+
     std::uint64_t stackedBytes() const
     {
         return hasStacked ? stackedFullBytes / scale : 0;
@@ -119,6 +129,21 @@ struct RunResult
     std::uint64_t oracleLoadChecks = 0;
     std::uint64_t oracleInvariantChecks = 0;
     std::uint64_t oracleViolations = 0;
+    /**
+     * Fault-injection counters, all zero unless SystemConfig::faults
+     * is enabled. ECC counts cover the measured region; spike/timeout
+     * and retirement counts cover the whole run (warmup included) —
+     * retirement is permanent state, not a per-phase statistic.
+     */
+    std::uint64_t eccCorrected = 0;
+    std::uint64_t eccUncorrectable = 0;
+    std::uint64_t faultSpikes = 0;
+    std::uint64_t faultTimeouts = 0;
+    /** Stacked segments retired (capacity permanently lost). */
+    std::uint64_t retiredSegments = 0;
+    std::uint64_t retiredBytes = 0;
+    /** Cycles spent past the first retirement (degradation mode). */
+    Cycle degradedCycles = 0;
 };
 
 /**
@@ -172,15 +197,26 @@ class System
     AutoNuma *autonumaDaemon() { return autoNuma.get(); }
     /** Null unless SystemConfig::oracle. */
     ShadowOracle *shadowOracle() { return oracle.get(); }
+    /** Null unless SystemConfig::faults.enabled. */
+    FaultInjector *faultInjector() { return injector.get(); }
     const SystemConfig &config() const { return cfg; }
 
   private:
     void buildOrganization();
     void runPhase(std::uint64_t retire_target);
 
+    /**
+     * Service pending segment-retirement requests from the injector:
+     * the hardware evicts/relocates each group's data (retireAt), and
+     * an ISA-Retire event tells the OS to evict and blacklist the
+     * containing frame when the stacked range is OS-visible.
+     */
+    void drainRetirements(Cycle when);
+
     SystemConfig cfg;
     std::unique_ptr<DramDevice> stackedDev;
     std::unique_ptr<DramDevice> offchipDev;
+    std::unique_ptr<FaultInjector> injector;
     std::unique_ptr<MemOrganization> org;
     std::unique_ptr<ShadowOracle> oracle;
     std::unique_ptr<OracleIsaShim> isaShim;
@@ -201,6 +237,12 @@ class System
     /** Memory references between full oracle sweeps. */
     static constexpr std::uint64_t oracleSweepInterval = 1ull << 18;
     std::uint64_t oracleOps = 0;
+
+    /** Whether the OS allocates frames in the stacked range. */
+    bool stackedOsVisible = false;
+    /** Cycle of the first segment retirement (noCycle = none). */
+    static constexpr Cycle noRetireCycle = ~static_cast<Cycle>(0);
+    Cycle firstRetireCycle = noRetireCycle;
 };
 
 } // namespace chameleon

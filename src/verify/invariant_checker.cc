@@ -112,6 +112,25 @@ InvariantChecker::checkChamGroup(std::uint64_t g,
     const std::uint8_t abv = cham->groupAbv(g);
     const std::uint8_t c = cham->groupCachedSlot(g);
 
+    if (cham->groupRetired(g)) {
+        // Retired groups are exempt from the mode/ABV coupling (their
+        // mode is pinned, not ABV-driven) but carry invariants of
+        // their own: PoM mode forever, logical 0 parked in the dead
+        // stacked slot, and nothing cached or dirty there.
+        if (mode != GroupMode::Pom)
+            out.push_back(vio(org, g, "group",
+                              "retired group not pinned in PoM mode"));
+        if (e.perm[0] != 0)
+            out.push_back(vio(org, g, "group",
+                              strFormat("retired group's stacked "
+                                        "segment remapped to slot %u",
+                                        e.perm[0])));
+        if (c != noCachedSlot || cham->groupDirty(g))
+            out.push_back(vio(org, g, "group",
+                              "retired group holds cached data"));
+        return;
+    }
+
     if (!opt) {
         // Basic Chameleon / Polymorphic: the mode bit mirrors the
         // stacked segment's ABV bit (Fig 8 / Fig 10).

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Fault-injection tests (src/fault): deterministic replay of every
+ * fault kind, the repeat-offender and uncorrectable retirement
+ * triggers, end-to-end graceful degradation through the
+ * organizations and the mini-OS (retired frames are blacklisted
+ * forever), and the headline robustness claim — the shadow oracle
+ * and invariant checker stay green under injected-but-correctable
+ * faults on every reconfigurable design.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/fault_injector.hh"
+#include "os/mini_os.hh"
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+
+using namespace chameleon;
+
+namespace
+{
+
+constexpr std::uint64_t kSegBytes = 2048;
+constexpr std::uint64_t kStackedBytes = 256 * kSegBytes;
+
+FaultConfig
+baseConfig()
+{
+    FaultConfig fc;
+    fc.enabled = true;
+    fc.seed = 7;
+    return fc;
+}
+
+/** One full sample trace: ecc + srt + latency outcomes, in order. */
+std::vector<int>
+sampleTrace(const FaultConfig &fc)
+{
+    FaultInjector inj(fc, kStackedBytes, kSegBytes);
+    std::vector<int> trace;
+    for (Cycle c = 0; c < 4000; c += 40) {
+        trace.push_back(static_cast<int>(
+            inj.eccSample(MemNode::Stacked, (c * 64) % kStackedBytes,
+                          c)));
+        trace.push_back(static_cast<int>(inj.srtSample(c % 256, c)));
+        trace.push_back(static_cast<int>(
+            inj.latencyPenalty(MemNode::Stacked, c % 4, c * 100)));
+    }
+    return trace;
+}
+
+BenchOptions
+faultyOpts()
+{
+    BenchOptions o;
+    o.scale = 512; // 8MiB + 40MiB machine: fast
+    o.instrPerCore = 30'000;
+    o.minRefsPerCore = 3'000;
+    o.warmupFrac = 0.5;
+    o.oracle = true;
+    o.faultRate = 1e-4;   // flips are overwhelmingly correctable
+    o.faultStuck = 2e-3;  // a few stuck segments force retirements
+    o.faultSpikes = 0.05; // plus latency noise on every channel
+    return o;
+}
+
+/**
+ * Tiny-run config: the default repeat-offender threshold and spike
+ * window are sized for full sweeps, so shrink them until a 100k-instr
+ * run reliably exercises retirement and latency spikes.
+ */
+SystemConfig
+faultyConfig(Design d, const BenchOptions &opts)
+{
+    SystemConfig cfg = makeSystemConfig(d, opts);
+    cfg.faults.retireThreshold = 4;
+    cfg.faults.spikeRate = 0.25;
+    cfg.faults.spikeWindowCycles = 2'000;
+    return cfg;
+}
+
+AppProfile
+testApp()
+{
+    AppProfile p;
+    p.name = "faultapp";
+    p.llcMpki = 25.0;
+    p.footprintBytes = 18_GiB / 512;
+    p.hotFraction = 0.05;
+    p.hotProbability = 0.9;
+    p.seqRunBlocks = 16.0;
+    p.writeFraction = 0.3;
+    return p;
+}
+
+} // namespace
+
+TEST(FaultInjector, ReplayIsDeterministic)
+{
+    FaultConfig fc = baseConfig();
+    fc.transientFlipRate = 0.05;
+    fc.doubleFlipFraction = 0.1;
+    fc.stuckSegmentFraction = 0.02;
+    fc.srrtCorruptionRate = 0.02;
+    fc.srrtUncorrectableFraction = 0.1;
+    fc.spikeRate = 0.1;
+    EXPECT_EQ(sampleTrace(fc), sampleTrace(fc))
+        << "same seed must replay the exact same fault sequence";
+
+    FaultConfig other = fc;
+    other.seed = 8;
+    EXPECT_NE(sampleTrace(fc), sampleTrace(other))
+        << "a different seed must perturb the sequence";
+}
+
+TEST(FaultInjector, StuckSegmentsDeriveFromSeedAlone)
+{
+    FaultConfig fc = baseConfig();
+    fc.stuckSegmentFraction = 0.1;
+    FaultInjector a(fc, kStackedBytes, kSegBytes);
+    // Other rate knobs must not move the stuck set.
+    FaultConfig fc2 = fc;
+    fc2.transientFlipRate = 0.5;
+    fc2.spikeRate = 0.5;
+    FaultInjector b(fc2, kStackedBytes, kSegBytes);
+    EXPECT_GT(a.stuckSegments(), 0u);
+    EXPECT_EQ(a.stuckSegments(), b.stuckSegments());
+    for (std::uint64_t s = 0; s < kStackedBytes / kSegBytes; ++s)
+        EXPECT_EQ(a.isStuck(s * kSegBytes), b.isStuck(s * kSegBytes));
+}
+
+TEST(FaultInjector, StuckSegmentRetiresAfterRepeatOffenses)
+{
+    FaultConfig fc = baseConfig();
+    fc.stuckSegmentFraction = 0.1;
+    fc.retireThreshold = 4;
+    FaultInjector inj(fc, kStackedBytes, kSegBytes);
+
+    Addr stuck = ~static_cast<Addr>(0);
+    for (std::uint64_t s = 0; s < kStackedBytes / kSegBytes; ++s)
+        if (inj.isStuck(s * kSegBytes)) {
+            stuck = s * kSegBytes;
+            break;
+        }
+    ASSERT_NE(stuck, ~static_cast<Addr>(0));
+
+    for (unsigned i = 0; i < fc.retireThreshold; ++i)
+        EXPECT_EQ(inj.eccSample(MemNode::Stacked, stuck, 100 + i),
+                  EccOutcome::Corrected);
+    EXPECT_EQ(inj.stats().stuckHits, fc.retireThreshold);
+    EXPECT_EQ(inj.stats().retirementsRequested, 1u);
+
+    const auto batch = inj.takeRetirements();
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0], stuck);
+    inj.markRetired(stuck);
+    EXPECT_TRUE(inj.isRetired(stuck));
+    // Retired segments are silent: no further events, no re-request.
+    EXPECT_EQ(inj.eccSample(MemNode::Stacked, stuck, 200),
+              EccOutcome::None);
+    EXPECT_TRUE(inj.takeRetirements().empty());
+}
+
+TEST(FaultInjector, DoubleFlipIsUncorrectableAndRequestsRetirement)
+{
+    FaultConfig fc = baseConfig();
+    fc.transientFlipRate = 1.0;
+    fc.doubleFlipFraction = 1.0;
+    FaultInjector inj(fc, kStackedBytes, kSegBytes);
+    const Addr addr = 5 * kSegBytes + 64;
+    EXPECT_EQ(inj.eccSample(MemNode::Stacked, addr, 10),
+              EccOutcome::Uncorrectable);
+    EXPECT_EQ(inj.stats().doubleFlips, 1u);
+    const auto batch = inj.takeRetirements();
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0], 5 * kSegBytes) << "segment-aligned base";
+}
+
+TEST(FaultInjector, SrrtCorruptionCanRetireTheGroup)
+{
+    FaultConfig fc = baseConfig();
+    fc.srrtCorruptionRate = 1.0;
+    fc.srrtUncorrectableFraction = 1.0;
+    FaultInjector inj(fc, kStackedBytes, kSegBytes);
+    EXPECT_EQ(inj.srtSample(3, 10), MetaOutcome::Uncorrectable);
+    const auto batch = inj.takeRetirements();
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0], 3 * kSegBytes);
+}
+
+TEST(FaultInjector, LatencySpikesAreWindowedAndCountTimeouts)
+{
+    FaultConfig fc = baseConfig();
+    fc.spikeRate = 0.5;
+    fc.spikeCycles = 20'000; // every spike crosses timeoutCycles
+    FaultInjector inj(fc, kStackedBytes, kSegBytes);
+
+    // Same (site, window) => same penalty; spikes must show up at a
+    // 50% rate across many windows.
+    std::uint64_t spiked = 0;
+    for (std::uint64_t w = 0; w < 200; ++w) {
+        const Cycle when = w * fc.spikeWindowCycles + 17;
+        const Cycle p1 = inj.latencyPenalty(MemNode::Stacked, 0, when);
+        const Cycle p2 =
+            inj.latencyPenalty(MemNode::Stacked, 0, when + 5);
+        EXPECT_EQ(p1, p2) << "window " << w;
+        if (p1 > 0) {
+            ++spiked;
+            EXPECT_GE(p1, fc.spikeCycles);
+            EXPECT_LT(p1, 4 * fc.spikeCycles);
+        }
+    }
+    EXPECT_GT(spiked, 50u);
+    EXPECT_LT(spiked, 150u);
+    EXPECT_EQ(inj.stats().timeouts, inj.stats().spikeDelays)
+        << "spikeCycles >= timeoutCycles makes every spike a timeout";
+
+    // Off-chip injection is gated off by default.
+    EXPECT_EQ(inj.latencyPenalty(MemNode::OffChip, 0, 17), 0u);
+}
+
+TEST(FaultInjector, PhaseWindowGatesInjection)
+{
+    FaultConfig fc = baseConfig();
+    fc.transientFlipRate = 1.0;
+    fc.startCycle = 1000;
+    fc.endCycle = 2000;
+    FaultInjector inj(fc, kStackedBytes, kSegBytes);
+    EXPECT_EQ(inj.eccSample(MemNode::Stacked, 0, 999),
+              EccOutcome::None);
+    EXPECT_NE(inj.eccSample(MemNode::Stacked, 0, 1500),
+              EccOutcome::None);
+    EXPECT_EQ(inj.eccSample(MemNode::Stacked, 0, 2001),
+              EccOutcome::None);
+}
+
+class FaultyDesigns : public ::testing::TestWithParam<Design>
+{
+};
+
+/**
+ * The tentpole acceptance check: with fault injection at a
+ * correctable-dominated rate, every reconfigurable organization
+ * completes a stress run under the shadow oracle + invariant checker
+ * with zero violations, while actually exercising the degradation
+ * machinery (ECC corrections observed, segments retired).
+ */
+TEST_P(FaultyDesigns, OracleStaysGreenUnderCorrectableFaults)
+{
+    const BenchOptions opts = faultyOpts();
+    SystemConfig cfg = faultyConfig(GetParam(), opts);
+    System sys(cfg);
+    sys.loadRateWorkload(testApp());
+    // Any oracle or invariant violation aborts inside run().
+    const RunResult r =
+        sys.run(opts.instrPerCore, opts.instrPerCore / 2);
+    EXPECT_EQ(r.oracleViolations, 0u);
+    EXPECT_GT(r.oracleLoadChecks, 0u);
+    EXPECT_GT(r.eccCorrected, 0u);
+    EXPECT_GT(r.retiredSegments, 0u)
+        << "stuck segments must hit the repeat-offender threshold";
+    EXPECT_EQ(r.retiredBytes,
+              r.retiredSegments * cfg.pom.segmentBytes);
+    EXPECT_GT(r.degradedCycles, 0u);
+    EXPECT_GT(r.faultSpikes, 0u);
+}
+
+TEST_P(FaultyDesigns, RetiredFramesAreBlacklistedForever)
+{
+    const BenchOptions opts = faultyOpts();
+    SystemConfig cfg = faultyConfig(GetParam(), opts);
+    System sys(cfg);
+    sys.loadRateWorkload(testApp());
+    const RunResult r =
+        sys.run(opts.instrPerCore, opts.instrPerCore / 2);
+    ASSERT_GT(r.retiredSegments, 0u);
+
+    const FrameAllocator &frames = sys.os().allocator();
+    EXPECT_GT(frames.stats().retiredFrames, 0u);
+    const FaultInjector *inj = sys.faultInjector();
+    ASSERT_NE(inj, nullptr);
+    std::uint64_t retired_frames = 0;
+    for (Addr seg = 0; seg < cfg.stackedBytes();
+         seg += cfg.pom.segmentBytes) {
+        if (!inj->isRetired(seg))
+            continue;
+        const Addr frame = seg & ~(pageBytes - 1);
+        EXPECT_TRUE(frames.isRetired(frame))
+            << "frame " << frame << " must be blacklisted";
+        EXPECT_FALSE(frames.isAllocated(frame))
+            << "frame " << frame << " must never be handed out again";
+        ++retired_frames;
+    }
+    EXPECT_GT(retired_frames, 0u);
+}
+
+TEST_P(FaultyDesigns, FaultRunsAreDeterministic)
+{
+    const BenchOptions opts = faultyOpts();
+    auto run_once = [&]() {
+        SystemConfig cfg = faultyConfig(GetParam(), opts);
+        cfg.oracle = false; // determinism must not depend on it
+        System sys(cfg);
+        sys.loadRateWorkload(testApp());
+        return sys.run(opts.instrPerCore, opts.instrPerCore / 2);
+    };
+    const RunResult a = run_once();
+    const RunResult b = run_once();
+    EXPECT_EQ(a.ipcPerCore, b.ipcPerCore);
+    EXPECT_EQ(a.eccCorrected, b.eccCorrected);
+    EXPECT_EQ(a.eccUncorrectable, b.eccUncorrectable);
+    EXPECT_EQ(a.faultSpikes, b.faultSpikes);
+    EXPECT_EQ(a.retiredSegments, b.retiredSegments);
+    EXPECT_EQ(a.degradedCycles, b.degradedCycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Faults, FaultyDesigns,
+    ::testing::Values(Design::Pom, Design::Chameleon,
+                      Design::ChameleonOpt),
+    [](const ::testing::TestParamInfo<Design> &info) {
+        std::string s = designLabel(info.param);
+        for (auto &c : s)
+            if (c == '-')
+                c = '_';
+        return s;
+    });

@@ -2,7 +2,8 @@
  * @file
  * Tests for the parallel experiment engine: submission-order results,
  * the headline determinism guarantee (--jobs 1 and --jobs 8 produce
- * identical stats for identical seeds), exception propagation, the
+ * identical stats for identical seeds), exception containment (a
+ * throwing cell is marked failed instead of poisoning the grid), the
  * --jobs/--json flag plumbing, and the JSON result file format.
  */
 
@@ -131,17 +132,35 @@ TEST(SweepRunner, ParallelSweepIsByteIdenticalToSequential)
     }
 }
 
-TEST(SweepRunner, PropagatesJobExceptions)
+TEST(SweepRunner, ThrowingJobDoesNotPoisonTheSweep)
 {
+    // The historical behaviour rethrew the first exception from
+    // collect(), discarding every completed cell. Now the failing
+    // cell is marked and the rest of the grid survives.
     for (unsigned jobs : {1u, 4u}) {
         SweepRunner runner(tinyOpts(jobs));
-        runner.submit("d", "ok", [] { return RunResult{}; });
+        runner.submit("d", "ok", [] {
+            RunResult r;
+            r.instructions = 7;
+            return r;
+        });
         runner.submit("d", "boom", []() -> RunResult {
             throw std::runtime_error("job exploded");
         });
-        runner.submit("d", "ok2", [] { return RunResult{}; });
-        EXPECT_THROW(runner.collect(), std::runtime_error)
-            << "jobs=" << jobs;
+        runner.submit("d", "ok2", [] {
+            RunResult r;
+            r.instructions = 9;
+            return r;
+        });
+        const auto recs = runner.collect();
+        ASSERT_EQ(recs.size(), 3u) << "jobs=" << jobs;
+        EXPECT_EQ(recs[0].status, CellStatus::Ok);
+        EXPECT_EQ(recs[0].result.instructions, 7u);
+        EXPECT_EQ(recs[1].status, CellStatus::Failed);
+        EXPECT_EQ(recs[1].error, "job exploded");
+        EXPECT_EQ(recs[1].attempts, 1u);
+        EXPECT_EQ(recs[2].status, CellStatus::Ok);
+        EXPECT_EQ(recs[2].result.instructions, 9u);
     }
 }
 
@@ -171,6 +190,7 @@ TEST(SweepRunner, WritesJsonWhenRequested)
     EXPECT_NE(text.find("\"design\": \"chameleon-opt\""),
               std::string::npos);
     EXPECT_NE(text.find("\"app\": \"sweepapp\""), std::string::npos);
+    EXPECT_NE(text.find("\"status\": \"ok\""), std::string::npos);
     EXPECT_NE(text.find("\"wall_seconds\""), std::string::npos);
     EXPECT_NE(text.find("\"jobs\": 2"), std::string::npos);
     EXPECT_EQ(text.front(), '[');
