@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "obs/trace_sink.hh"
 #include "sim/experiment.hh"
 #include "sim/sweep_runner.hh"
 
@@ -59,11 +60,23 @@ runSuiteSweep(const std::vector<Design> &designs,
     sweep.apps = apps;
 
     SweepRunner runner(opts);
+    std::size_t cell = 0;
     for (Design d : designs) {
         for (const AppProfile &app : apps) {
             SystemConfig cfg = makeSystemConfig(d, opts);
             if (tweak)
                 tweak(cfg);
+            // Cells run in parallel, so a shared --trace/--metrics
+            // path would race: give every cell its own file, named by
+            // grid position.
+            if (!cfg.obs.tracePath.empty())
+                cfg.obs.tracePath = perCellObsPath(
+                    cfg.obs.tracePath, cell, designLabel(d), app.name);
+            if (!cfg.obs.metricsPath.empty())
+                cfg.obs.metricsPath =
+                    perCellObsPath(cfg.obs.metricsPath, cell,
+                                   designLabel(d), app.name);
+            ++cell;
             runner.submit(designLabel(d), app.name,
                           [cfg, app, opts] {
                               return runRateWorkload(cfg, app, opts);

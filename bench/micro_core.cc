@@ -17,6 +17,7 @@
 #include "common/rng.hh"
 #include "core/chameleon_opt.hh"
 #include "dram/dram_device.hh"
+#include "obs/trace_sink.hh"
 #include "sim/experiment.hh"
 #include "sim/sweep_runner.hh"
 #include "workloads/profile.hh"
@@ -78,8 +79,60 @@ BM_ChameleonAccess(benchmark::State &state)
                             now += 4));
     }
     state.SetItemsProcessed(state.iterations());
+    // The CSV reporter requires identical counter sets across every
+    // benchmark in a report, so the untraced twin carries the counter
+    // too (no sink attached, hence zero).
+    state.counters["trace_events"] = 0;
 }
 BENCHMARK(BM_ChameleonAccess);
+
+/**
+ * BM_ChameleonAccess with a live TraceSink attached, running the
+ * identical access mix. Uniform reads to OS-free segments reach no
+ * emit site, so the recording load is synthesized: one event plus one
+ * counter sample every 256 accesses, well above the per-access event
+ * rate full figure sweeps show. The delta against the untraced twin
+ * therefore upper-bounds what the disabled instrumentation (a
+ * null-pointer branch per site) can cost, which is what
+ * scripts/bench_smoke.sh's 2% overhead guard enforces.
+ */
+static void
+BM_ChameleonAccessTraced(benchmark::State &state)
+{
+    Rig rig;
+    TraceSink sink;
+    rig.org->setTraceSink(&sink);
+    Rng rng(2);
+    Cycle now = 0;
+    std::uint64_t n = 0;
+    const std::uint64_t blocks = rig.org->osVisibleBytes() / 64;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            rig.org->access(rng.below(blocks) * 64, AccessType::Read,
+                            now += 4));
+        if ((++n & 255u) == 0) {
+            sink.record(now, TraceKind::HotSwap, 0, 1, 2);
+            sink.recordCounter(now, TraceKind::CounterHitRate, 0.5);
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["trace_events"] = static_cast<double>(
+        sink.stats().recorded);
+}
+BENCHMARK(BM_ChameleonAccessTraced);
+
+/** Raw sink recording throughput (events/s on one thread). */
+static void
+BM_TraceSinkRecord(benchmark::State &state)
+{
+    TraceSink sink;
+    Cycle now = 0;
+    for (auto _ : state)
+        sink.record(now += 4, TraceKind::HotSwap, 1, 2, 3);
+    benchmark::DoNotOptimize(sink.stats().recorded);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSinkRecord);
 
 static void
 BM_IsaAllocFreeCycle(benchmark::State &state)

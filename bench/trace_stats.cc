@@ -1,0 +1,48 @@
+/**
+ * @file
+ * trace_stats — offline analyzer for --trace output.
+ *
+ * Loads one or more Chrome trace-event JSON files (the --trace output
+ * of any bench), validates them against the trace-event schema, and
+ * prints per-category event counts plus inter-event latency
+ * percentiles. Doubles as a format checker: a file this tool loads is
+ * one Perfetto / chrome://tracing will accept.
+ *
+ * Usage: trace_stats FILE [FILE...]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.hh"
+#include "obs/trace_reader.hh"
+
+using namespace chameleon;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || std::strcmp(argv[1], "--help") == 0) {
+        std::fprintf(stderr,
+                     "usage: trace_stats FILE [FILE...]\n"
+                     "  FILE: Chrome trace-event JSON written by any "
+                     "bench's --trace flag\n");
+        return argc < 2 ? 1 : 0;
+    }
+
+    int rc = 0;
+    for (int i = 1; i < argc; ++i) {
+        ParsedTrace trace;
+        std::string error;
+        if (!loadChromeTraceFile(argv[i], trace, error)) {
+            std::fprintf(stderr, "trace_stats: %s: %s\n", argv[i],
+                         error.c_str());
+            rc = 1;
+            continue;
+        }
+        const auto stats = analyzeTrace(trace);
+        std::printf("=== %s ===\n%s", argv[i],
+                    formatTraceReport(trace, stats).c_str());
+    }
+    return rc;
+}

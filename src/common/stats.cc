@@ -24,6 +24,22 @@ Histogram::percentile(double frac) const
     return static_cast<double>(counts.size()) * width;
 }
 
+std::string
+Histogram::toJson() const
+{
+    std::string out = strFormat(
+        "{\"bucket_width\":%.6g,\"samples\":%llu,\"counts\":[",
+        width, static_cast<unsigned long long>(total));
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (i)
+            out += ",";
+        out += strFormat("%llu",
+                         static_cast<unsigned long long>(counts[i]));
+    }
+    out += "]}";
+    return out;
+}
+
 double
 geoMean(const std::vector<double> &values)
 {

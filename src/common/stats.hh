@@ -24,15 +24,20 @@ class MeanTracker
     {
         sum += v;
         ++n;
-        if (v < mn || n == 1)
+        // The explicit sentinel (not "n == 1") makes the first-sample
+        // seeding independent of the comparison order, so an all-
+        // negative stream can never leave min/max at the 0.0 reset
+        // value.
+        if (empty || v < mn)
             mn = v;
-        if (v > mx || n == 1)
+        if (empty || v > mx)
             mx = v;
+        empty = false;
     }
 
     double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
-    double min() const { return n ? mn : 0.0; }
-    double max() const { return n ? mx : 0.0; }
+    double min() const { return empty ? 0.0 : mn; }
+    double max() const { return empty ? 0.0 : mx; }
     std::uint64_t count() const { return n; }
     double total() const { return sum; }
 
@@ -42,6 +47,7 @@ class MeanTracker
         sum = 0.0;
         mn = mx = 0.0;
         n = 0;
+        empty = true;
     }
 
   private:
@@ -49,6 +55,7 @@ class MeanTracker
     double mn = 0.0;
     double mx = 0.0;
     std::uint64_t n = 0;
+    bool empty = true;
 };
 
 /** Histogram over [0, bucketWidth * nBuckets) with an overflow bucket. */
@@ -83,6 +90,19 @@ class Histogram
 
     /** Value below which @p frac of samples fall (bucket resolution). */
     double percentile(double frac) const;
+
+    /** Lower edge of bucket @p i (the last bucket is the overflow). */
+    double bucketLow(std::size_t i) const
+    {
+        return width * static_cast<double>(i);
+    }
+
+    /**
+     * JSON object: bucket width, sample count, and the per-bucket
+     * counts (last entry is the overflow bucket). Shared by metric
+     * snapshots and the trace analyzer.
+     */
+    std::string toJson() const;
 
   private:
     double width;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/log.hh"
+
 namespace chameleon
 {
 
@@ -29,6 +31,29 @@ Timeline::maxValue() const
         first = false;
     }
     return mx;
+}
+
+std::string
+Timeline::toJson() const
+{
+    std::string out = "{\"name\":\"";
+    // Series names are identifiers chosen by the simulator, but keep
+    // the output well-formed even if one sneaks in a quote.
+    for (char c : name) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += "\",\"points\":[";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (i)
+            out += ",";
+        out += strFormat("{\"t\":%llu,\"v\":%.17g}",
+                         static_cast<unsigned long long>(points[i].when),
+                         points[i].value);
+    }
+    out += "]}";
+    return out;
 }
 
 std::string

@@ -52,6 +52,13 @@ class Timeline
      */
     std::string sparkline(std::size_t width = 64) const;
 
+    /**
+     * JSON object {"name":..., "points":[{"t":cycle,"v":value},...]}.
+     * Shared by metric snapshots and trace counter tracks so benches
+     * don't hand-roll series serialization.
+     */
+    std::string toJson() const;
+
   private:
     std::string name;
     std::vector<Point> points;

@@ -5,9 +5,22 @@
 #include <cstdlib>
 
 #include "common/log.hh"
+#include "obs/trace_sink.hh"
 
 namespace chameleon
 {
+
+namespace
+{
+
+constexpr auto trigIsaAlloc =
+    static_cast<std::uint64_t>(ModeSwitchTrigger::IsaAlloc);
+constexpr auto trigIsaFree =
+    static_cast<std::uint64_t>(ModeSwitchTrigger::IsaFree);
+constexpr auto trigRetire =
+    static_cast<std::uint64_t>(ModeSwitchTrigger::Retire);
+
+} // namespace
 
 ChameleonMemory::ChameleonMemory(DramDevice *stacked_dev,
                                  DramDevice *offchip_dev,
@@ -63,6 +76,7 @@ ChameleonMemory::dropCached(std::uint64_t group, Cycle when,
         funcCopy(slotLocation(group, 0),
                  slotLocation(group, home_slot), cfg.segmentBytes);
         ++statsData.writebacks;
+        TraceSink::emit(trace, when, TraceKind::Writeback, group, c);
         if (fill_driven)
             ++statsData.swaps;
         else
@@ -88,6 +102,7 @@ ChameleonMemory::fillCached(std::uint64_t group, std::uint32_t l,
     a.cachedSlot = static_cast<std::uint8_t>(l);
     a.dirty = false;
     ++statsData.fills;
+    TraceSink::emit(trace, when, TraceKind::CacheFill, group, l);
 }
 
 void
@@ -252,6 +267,9 @@ ChameleonMemory::isaAlloc(Addr seg_base, Cycle when)
     table[group].counter = 0;
     table[group].candidate = 0;
     ++chamData.allocTransitions;
+    TraceSink::emit(trace, when, TraceKind::ModeSwitch, group,
+                    static_cast<std::uint64_t>(GroupMode::Pom),
+                    trigIsaAlloc);
 }
 
 void
@@ -304,6 +322,9 @@ ChameleonMemory::isaFree(Addr seg_base, Cycle when)
     table[group].counter = 0;
     table[group].candidate = 0;
     ++chamData.freeTransitions;
+    TraceSink::emit(trace, when, TraceKind::ModeSwitch, group,
+                    static_cast<std::uint64_t>(GroupMode::Cache),
+                    trigIsaFree);
 }
 
 bool
@@ -317,6 +338,10 @@ ChameleonMemory::retireAt(Addr phys, Cycle when)
     // group in PoM mode — retired groups never re-enter cache mode,
     // so nothing fills into the dead storage.
     dropCached(group, when, false);
+    if (aug[group].mode != GroupMode::Pom)
+        TraceSink::emit(trace, when, TraceKind::ModeSwitch, group,
+                        static_cast<std::uint64_t>(GroupMode::Pom),
+                        trigRetire);
     aug[group].mode = GroupMode::Pom;
     return PomMemory::retireAt(phys, when);
 }

@@ -1,6 +1,7 @@
 #include "core/chameleon_opt.hh"
 
 #include "common/log.hh"
+#include "obs/trace_sink.hh"
 
 namespace chameleon
 {
@@ -31,7 +32,7 @@ ChameleonOptMemory::findFreeSlot(std::uint64_t group,
 
 void
 ChameleonOptMemory::remapFreePair(std::uint64_t group, std::uint32_t p,
-                                  std::uint32_t q)
+                                  std::uint32_t q, Cycle when)
 {
     // Both segments carry dead data (p was just allocated fresh, q is
     // free), so the proactive remap of Fig 13 is a pure SRRT tag
@@ -39,6 +40,7 @@ ChameleonOptMemory::remapFreePair(std::uint64_t group, std::uint32_t p,
     // occupying the stacked slot's storage is left untouched.
     table[group].swapLogical(p, q);
     ++statsData.isaMoves;
+    TraceSink::emit(trace, when, TraceKind::ProactiveRemap, group, p, q);
 }
 
 MemAccessResult
@@ -105,7 +107,7 @@ ChameleonOptMemory::isaAlloc(Addr seg_base, Cycle when)
         // proactively remap it to another free segment's slot so the
         // stacked slot stays cache-capable (Fig 12 flow 7-8, Fig 13).
         if (const auto q = findFreeSlot(group, logical))
-            remapFreePair(group, logical, *q);
+            remapFreePair(group, logical, *q, when);
     }
 
     if (a.allAllocated(segSpace.slotsPerGroup())) {
@@ -118,6 +120,10 @@ ChameleonOptMemory::isaAlloc(Addr seg_base, Cycle when)
         table[group].counter = 0;
         table[group].candidate = 0;
         ++chamData.allocTransitions;
+        TraceSink::emit(
+            trace, when, TraceKind::ModeSwitch, group,
+            static_cast<std::uint64_t>(GroupMode::Pom),
+            static_cast<std::uint64_t>(ModeSwitchTrigger::IsaAlloc));
         return;
     }
 
@@ -158,6 +164,10 @@ ChameleonOptMemory::isaFree(Addr seg_base, Cycle when)
         table[group].counter = 0;
         table[group].candidate = 0;
         ++chamData.freeTransitions;
+        TraceSink::emit(
+            trace, when, TraceKind::ModeSwitch, group,
+            static_cast<std::uint64_t>(GroupMode::Cache),
+            static_cast<std::uint64_t>(ModeSwitchTrigger::IsaFree));
         return;
     }
 

@@ -47,7 +47,7 @@ class ChameleonOptMemory : public ChameleonMemory
      * @p p and free @p q): SRRT tag update only, no data transfer.
      */
     void remapFreePair(std::uint64_t group, std::uint32_t p,
-                       std::uint32_t q);
+                       std::uint32_t q, Cycle when);
 
     /** A free logical slot other than @p except, if one exists. */
     std::optional<std::uint32_t> findFreeSlot(std::uint64_t group,

@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "fault/fault_injector.hh"
+#include "obs/trace_sink.hh"
 
 namespace chameleon
 {
@@ -120,16 +121,25 @@ DramDevice::access(Addr addr, AccessType type, Cycle when)
             ++statsData.spikeDelays;
             done += pen;
             chan.busFreeAt = done;
+            TraceSink::emit(trace, when, TraceKind::LatencySpike,
+                            static_cast<std::uint64_t>(faultNode),
+                            chan_idx, pen);
         }
         switch (faults->eccSample(faultNode, addr, when)) {
           case EccOutcome::Corrected:
             done += faults->correctionLatency();
             ++statsData.eccCorrected;
+            TraceSink::emit(trace, when, TraceKind::EccCorrected,
+                            static_cast<std::uint64_t>(faultNode),
+                            addr);
             break;
           case EccOutcome::Uncorrectable:
             // Detected, not corrected: the access completes from the
             // last-gasp readout; the segment is queued for retirement.
             ++statsData.eccUncorrectable;
+            TraceSink::emit(trace, when, TraceKind::EccUncorrectable,
+                            static_cast<std::uint64_t>(faultNode),
+                            addr);
             break;
           case EccOutcome::None:
             break;

@@ -24,6 +24,7 @@ namespace chameleon
 {
 
 class FaultInjector;
+class TraceSink;
 
 /** Aggregated counters exposed by a DramDevice. */
 struct DramStats
@@ -117,6 +118,9 @@ class DramDevice
         faultNode = node;
     }
 
+    /** Attach a trace sink (ECC / latency-spike events). */
+    void setTraceSink(TraceSink *sink) { trace = sink; }
+
     /** Convert memory-clock cycles to CPU cycles (rounded up). */
     Cycle
     memToCpu(double mem_cycles) const
@@ -168,6 +172,7 @@ class DramDevice
 
     DramTimings cfg;
     FaultInjector *faults = nullptr;
+    TraceSink *trace = nullptr;
     MemNode faultNode = MemNode::OffChip;
     double cpuPerMemClock;
     Cycle tCasCpu, tRcdCpu, tRpCpu, tRasCpu, tBurstCpu;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/trace_sink.hh"
 
 namespace chameleon
 {
@@ -63,16 +64,16 @@ FaultInjector::FaultInjector(const FaultConfig &config,
 }
 
 void
-FaultInjector::repeatOffense(std::uint64_t seg)
+FaultInjector::repeatOffense(std::uint64_t seg, Cycle when)
 {
     if (seg >= numSegs)
         return;
     if (++correctedCount[seg] >= cfg.retireThreshold)
-        requestRetirement(seg * segBytes);
+        requestRetirement(seg * segBytes, when);
 }
 
 void
-FaultInjector::requestRetirement(Addr seg_base)
+FaultInjector::requestRetirement(Addr seg_base, Cycle when)
 {
     const std::uint64_t seg = segOf(seg_base);
     if (seg >= numSegs)
@@ -82,6 +83,8 @@ FaultInjector::requestRetirement(Addr seg_base)
     segFlags[seg] |= flagPending;
     pending.push_back(seg * segBytes);
     ++statsData.retirementsRequested;
+    TraceSink::emit(trace, when, TraceKind::RetireRequest,
+                    seg * segBytes);
 }
 
 std::vector<Addr>
@@ -130,7 +133,7 @@ FaultInjector::eccSample(MemNode node, Addr addr, Cycle when)
                 // until the repeat-offender threshold retires the
                 // segment.
                 ++statsData.stuckHits;
-                repeatOffense(seg);
+                repeatOffense(seg, when);
                 return EccOutcome::Corrected;
             }
         }
@@ -145,11 +148,11 @@ FaultInjector::eccSample(MemNode node, Addr addr, Cycle when)
         rng.chance(cfg.doubleFlipFraction)) {
         ++statsData.doubleFlips;
         if (node == MemNode::Stacked)
-            requestRetirement((addr / segBytes) * segBytes);
+            requestRetirement((addr / segBytes) * segBytes, when);
         return EccOutcome::Uncorrectable;
     }
     if (node == MemNode::Stacked)
-        repeatOffense(segOf(addr));
+        repeatOffense(segOf(addr), when);
     return EccOutcome::Corrected;
 }
 
@@ -163,7 +166,7 @@ FaultInjector::srtSample(std::uint64_t group, Cycle when)
     if (cfg.srrtUncorrectableFraction > 0.0 &&
         rng.chance(cfg.srrtUncorrectableFraction)) {
         ++statsData.srrtUncorrectable;
-        requestRetirement(group * segBytes);
+        requestRetirement(group * segBytes, when);
         return MetaOutcome::Uncorrectable;
     }
     ++statsData.srrtCorrected;

@@ -116,6 +116,8 @@ struct FaultStats
     std::uint64_t retirementsRequested = 0;
 };
 
+class TraceSink;
+
 /** Deterministic fault source shared by the devices and the SRRT. */
 class FaultInjector
 {
@@ -159,8 +161,14 @@ class FaultInjector
     Cycle latencyPenalty(MemNode node, std::uint32_t channel,
                          Cycle when);
 
-    /** Queue the stacked segment at @p seg_base for retirement. */
-    void requestRetirement(Addr seg_base);
+    /**
+     * Queue the stacked segment at @p seg_base for retirement.
+     * @p when timestamps the trace event if a sink is attached.
+     */
+    void requestRetirement(Addr seg_base, Cycle when = 0);
+
+    /** Attach a trace sink (retirement-request events). */
+    void setTraceSink(TraceSink *sink) { trace = sink; }
 
     /**
      * Drain the pending retirement queue (stacked-device segment base
@@ -200,9 +208,10 @@ class FaultInjector
     std::uint64_t segOf(Addr addr) const { return addr / segBytes; }
 
     /** Count a corrected error against a segment's retire budget. */
-    void repeatOffense(std::uint64_t seg);
+    void repeatOffense(std::uint64_t seg, Cycle when);
 
     FaultConfig cfg;
+    TraceSink *trace = nullptr;
     std::uint64_t segBytes;
     std::uint64_t numSegs;
     Rng rng;

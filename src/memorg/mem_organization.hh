@@ -34,6 +34,7 @@ namespace chameleon
 {
 
 class FaultInjector;
+class TraceSink;
 
 /** Result of one demand access through an organization. */
 struct MemAccessResult
@@ -146,6 +147,14 @@ class MemOrganization : public IsaListener
     /** Attach the fault injector (SRRT metadata ECC sampling). */
     void setFaultInjector(FaultInjector *injector) { faults = injector; }
 
+    /**
+     * Attach a trace sink; reconfiguration events (mode switches,
+     * swaps, fills, retirements) are recorded through it. Null (the
+     * default) compiles every instrumentation site down to one
+     * untaken branch.
+     */
+    void setTraceSink(TraceSink *sink) { trace = sink; }
+
     /** Enable the functional data layer (tests). */
     void enableFunctional(bool on) { functionalOn = on; }
     bool functionalEnabled() const { return functionalOn; }
@@ -218,6 +227,7 @@ class MemOrganization : public IsaListener
     DramDevice *stacked;
     DramDevice *offchip;
     FaultInjector *faults = nullptr;
+    TraceSink *trace = nullptr;
     MemOrgStats statsData;
 
   private:

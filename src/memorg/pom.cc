@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "fault/fault_injector.hh"
+#include "obs/trace_sink.hh"
 
 namespace chameleon
 {
@@ -33,10 +34,14 @@ PomMemory::srtLookup(std::uint64_t group, Cycle when)
         // during the retirement readout).
         switch (faults->srtSample(group, when)) {
           case MetaOutcome::Corrected:
+            TraceSink::emit(trace, when, TraceKind::SrrtCorrected,
+                            group);
             ready = stacked->access((group * 64) % stacked->capacity(),
                                     AccessType::Read, ready);
             break;
           case MetaOutcome::Uncorrectable:
+            TraceSink::emit(trace, when, TraceKind::SrrtUncorrectable,
+                            group);
             ready += faults->correctionLatency();
             break;
           case MetaOutcome::None:
@@ -76,6 +81,7 @@ PomMemory::retireAt(Addr phys, Cycle when)
     e.candidate = 0;
     retiredG[group] = 1;
     ++retiredCount;
+    TraceSink::emit(trace, when, TraceKind::SegmentRetired, group);
     return true;
 }
 
@@ -155,6 +161,7 @@ PomMemory::hotSwap(std::uint64_t group, std::uint32_t a,
              cfg.segmentBytes);
     e.swapLogical(a, b);
     ++statsData.swaps;
+    TraceSink::emit(trace, when, TraceKind::HotSwap, group, a, b);
 }
 
 void
@@ -184,6 +191,7 @@ PomMemory::moveSegment(std::uint64_t group, std::uint32_t l,
              slotLocation(group, dst_slot), cfg.segmentBytes);
     e.swapLogical(l, dst);
     ++statsData.isaMoves;
+    TraceSink::emit(trace, when, TraceKind::SegmentMove, group, l, dst);
 }
 
 PomMemory::BurstRel

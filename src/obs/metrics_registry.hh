@@ -1,0 +1,108 @@
+/**
+ * @file
+ * MetricsRegistry — named access to every counter and gauge in the
+ * simulator.
+ *
+ * Components register a metric once (a name, a kind, and a getter
+ * closure reading the live value); the registry then serves three
+ * consumers from that single declaration:
+ *
+ *  - end-of-run aggregation: RunResult fields are read through
+ *    value(name) instead of ad-hoc member plumbing;
+ *  - periodic snapshots: snapshot(now) samples every metric into a
+ *    per-metric Timeline, exported as a wide CSV or JSON time series
+ *    (--metrics / --metrics-interval);
+ *  - trace counter tracks: selected metrics are mirrored into the
+ *    TraceSink as Chrome "ph":"C" events by the System's snapshot
+ *    loop.
+ *
+ * Counters are monotonically non-decreasing totals (reads, faults);
+ * gauges are instantaneous levels (free bytes, mode fraction). The
+ * registry itself stores no numeric state — getters read the owning
+ * component — so there is no double-accounting to keep in sync.
+ */
+
+#ifndef CHAMELEON_OBS_METRICS_REGISTRY_HH
+#define CHAMELEON_OBS_METRICS_REGISTRY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/timeline.hh"
+#include "common/types.hh"
+
+namespace chameleon
+{
+
+/** Monotonic total vs instantaneous level. */
+enum class MetricKind : std::uint8_t { Counter, Gauge };
+
+/** One registered metric. */
+struct Metric
+{
+    std::string name;
+    MetricKind kind = MetricKind::Counter;
+    std::function<double()> getter;
+    Timeline series; ///< filled by snapshot()
+};
+
+class MetricsRegistry
+{
+  public:
+    /**
+     * Register a metric. Names must be unique (panics otherwise);
+     * keep them snake_case so CSV headers and trace counter names
+     * line up. The getter must outlive the registry's last read.
+     */
+    void registerMetric(std::string name, MetricKind kind,
+                        std::function<double()> getter);
+
+    /** Convenience for a metric backed by a uint64 member. */
+    void
+    registerCounter(std::string name, const std::uint64_t *cell)
+    {
+        registerMetric(std::move(name), MetricKind::Counter,
+                       [cell] { return static_cast<double>(*cell); });
+    }
+
+    /** Current value of metric @p name (panics when unknown). */
+    double value(const std::string &name) const;
+
+    /** True when @p name is registered. */
+    bool has(const std::string &name) const;
+
+    /** Sample every metric into its Timeline at time @p now. */
+    void snapshot(Cycle now);
+
+    /** Number of snapshot() calls so far. */
+    std::size_t snapshots() const { return snapshotCount; }
+
+    /** Registered metrics, in registration order. */
+    const std::vector<Metric> &metrics() const { return entries; }
+
+    /**
+     * Wide CSV: one "cycle" column plus one column per metric, one
+     * row per snapshot.
+     */
+    std::string toCsv() const;
+
+    /** JSON array of per-metric Timeline::toJson() objects. */
+    std::string toJson() const;
+
+    /**
+     * Write the series to @p path — extension ".json" selects JSON,
+     * anything else CSV. Fatal on I/O error.
+     */
+    void writeSeries(const std::string &path) const;
+
+  private:
+    const Metric *find(const std::string &name) const;
+
+    std::vector<Metric> entries;
+    std::size_t snapshotCount = 0;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_OBS_METRICS_REGISTRY_HH

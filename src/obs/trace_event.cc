@@ -1,0 +1,128 @@
+#include "obs/trace_event.hh"
+
+#include "common/log.hh"
+
+namespace chameleon
+{
+namespace
+{
+
+/** Static per-kind descriptor table, indexed by TraceKind. */
+struct KindDesc
+{
+    TraceKind kind; ///< cross-checked against the index at lookup
+    TraceCategory cat;
+    const char *name;
+    const char *args[3]; ///< nullptr = argument unused
+    bool group;          ///< arg0 is a segment-group id
+};
+
+constexpr KindDesc kindTable[traceKindCount] = {
+    {TraceKind::ModeSwitch, TraceCategory::Mode, "mode_switch",
+     {"group", "new_mode", "trigger"}, true},
+    {TraceKind::HotSwap, TraceCategory::Swap, "hot_swap",
+     {"group", "logical_a", "logical_b"}, true},
+    {TraceKind::SegmentMove, TraceCategory::Swap, "segment_move",
+     {"group", "logical", "dst_logical"}, true},
+    {TraceKind::ProactiveRemap, TraceCategory::Swap, "proactive_remap",
+     {"group", "logical_p", "logical_q"}, true},
+    {TraceKind::CacheFill, TraceCategory::Swap, "cache_fill",
+     {"group", "logical", nullptr}, true},
+    {TraceKind::Writeback, TraceCategory::Swap, "writeback",
+     {"group", "cached_slot", nullptr}, true},
+    {TraceKind::IsaAlloc, TraceCategory::Isa, "isa_alloc",
+     {"seg_base", nullptr, nullptr}, false},
+    {TraceKind::IsaFree, TraceCategory::Isa, "isa_free",
+     {"seg_base", nullptr, nullptr}, false},
+    {TraceKind::IsaRetire, TraceCategory::Isa, "isa_retire",
+     {"frame_base", nullptr, nullptr}, false},
+    {TraceKind::MinorFault, TraceCategory::Os, "minor_fault",
+     {"pid", "vpn", nullptr}, false},
+    {TraceKind::MajorFault, TraceCategory::Os, "major_fault",
+     {"pid", "vpn", nullptr}, false},
+    {TraceKind::SwapOut, TraceCategory::Os, "swap_out",
+     {"pid", "vpn", "pfn"}, false},
+    {TraceKind::PageMigration, TraceCategory::Os, "page_migration",
+     {"pid", "old_pfn", "new_pfn"}, false},
+    {TraceKind::AutoNumaEpoch, TraceCategory::Os, "autonuma_epoch",
+     {"migrated", "failed_migrations", "remote_accesses"}, false},
+    {TraceKind::EccCorrected, TraceCategory::Fault, "ecc_corrected",
+     {"node", "addr", nullptr}, false},
+    {TraceKind::EccUncorrectable, TraceCategory::Fault,
+     "ecc_uncorrectable", {"node", "addr", nullptr}, false},
+    {TraceKind::LatencySpike, TraceCategory::Fault, "latency_spike",
+     {"node", "channel", "penalty_cycles"}, false},
+    {TraceKind::SrrtCorrected, TraceCategory::Fault, "srrt_corrected",
+     {"group", nullptr, nullptr}, true},
+    {TraceKind::SrrtUncorrectable, TraceCategory::Fault,
+     "srrt_uncorrectable", {"group", nullptr, nullptr}, true},
+    {TraceKind::RetireRequest, TraceCategory::Fault, "retire_request",
+     {"seg_base", nullptr, nullptr}, false},
+    {TraceKind::SegmentRetired, TraceCategory::Fault, "segment_retired",
+     {"group", nullptr, nullptr}, true},
+    {TraceKind::FrameRetired, TraceCategory::Fault, "frame_retired",
+     {"frame_base", nullptr, nullptr}, false},
+    {TraceKind::CounterHitRate, TraceCategory::Counter, "hit_rate",
+     {nullptr, nullptr, nullptr}, false},
+    {TraceKind::CounterFootprint, TraceCategory::Counter,
+     "footprint_bytes", {nullptr, nullptr, nullptr}, false},
+    {TraceKind::CounterModeMix, TraceCategory::Counter,
+     "cache_mode_fraction", {nullptr, nullptr, nullptr}, false},
+};
+
+const KindDesc &
+descOf(TraceKind kind)
+{
+    const auto idx = static_cast<std::size_t>(kind);
+    if (idx >= traceKindCount)
+        panic("trace: unknown TraceKind %zu", idx);
+    const KindDesc &d = kindTable[idx];
+    if (d.kind != kind)
+        panic("trace: kind table out of order at %zu", idx);
+    return d;
+}
+
+} // namespace
+
+TraceCategory
+traceCategoryOf(TraceKind kind)
+{
+    return descOf(kind).cat;
+}
+
+const char *
+traceKindName(TraceKind kind)
+{
+    return descOf(kind).name;
+}
+
+const char *
+traceCategoryName(TraceCategory cat)
+{
+    switch (cat) {
+      case TraceCategory::Mode: return "mode";
+      case TraceCategory::Swap: return "swap";
+      case TraceCategory::Isa: return "isa";
+      case TraceCategory::Os: return "os";
+      case TraceCategory::Fault: return "fault";
+      case TraceCategory::Counter: return "counter";
+    }
+    panic("trace: unknown TraceCategory %u",
+          static_cast<unsigned>(cat));
+}
+
+const char *
+traceArgName(TraceKind kind, std::size_t i)
+{
+    if (i >= 3)
+        return nullptr;
+    return descOf(kind).args[i];
+}
+
+bool
+traceKindHasGroup(TraceKind kind)
+{
+    return descOf(kind).group;
+}
+
+} // namespace chameleon

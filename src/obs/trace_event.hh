@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Typed trace events for the observability layer.
+ *
+ * Every reconfiguration-relevant action in the simulator — mode
+ * switches, SRRT swaps and remaps, ISA-Alloc/Free/Retire, page
+ * faults, AutoNUMA migrations, fault-injection outcomes — is recorded
+ * as one fixed-size TraceEvent: a cycle timestamp, a kind (which
+ * implies a category), and up to three 64-bit arguments whose meaning
+ * is per-kind (see traceArgName). Events are PODs so the per-thread
+ * ring buffers in trace_sink.hh can record them with a single store
+ * and no allocation on the hot path.
+ */
+
+#ifndef CHAMELEON_OBS_TRACE_EVENT_HH
+#define CHAMELEON_OBS_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/types.hh"
+
+namespace chameleon
+{
+
+/** Chrome-trace category of an event (the "cat" field). */
+enum class TraceCategory : std::uint8_t
+{
+    Mode,    ///< cache/PoM group reconfiguration
+    Swap,    ///< segment movement: hot swaps, fills, remaps
+    Isa,     ///< ISA-Alloc / ISA-Free / ISA-Retire notifications
+    Os,      ///< page faults, reclaim, AutoNUMA
+    Fault,   ///< injected ECC / spike / retirement events
+    Counter, ///< periodic metric samples (Chrome counter tracks)
+};
+
+/** Number of TraceCategory values (array sizing). */
+inline constexpr std::size_t traceCategoryCount = 6;
+
+/** Every event kind the simulator records. */
+enum class TraceKind : std::uint16_t
+{
+    // Mode
+    ModeSwitch,     ///< group, newMode (0=PoM 1=cache), trigger
+    // Swap
+    HotSwap,        ///< group, logicalA, logicalB
+    SegmentMove,    ///< group, logical, dstLogical
+    ProactiveRemap, ///< group, logicalP, logicalQ (tag-only)
+    CacheFill,      ///< group, logical
+    Writeback,      ///< group, cachedSlot
+    // Isa
+    IsaAlloc,       ///< segBase
+    IsaFree,        ///< segBase
+    IsaRetire,      ///< frameBase
+    // Os
+    MinorFault,     ///< pid, vpn
+    MajorFault,     ///< pid, vpn
+    SwapOut,        ///< pid, vpn, pfn
+    PageMigration,  ///< pid, oldPfn, newPfn
+    AutoNumaEpoch,  ///< migrated, failedMigrations, remoteAccesses
+    // Fault
+    EccCorrected,     ///< node, addr
+    EccUncorrectable, ///< node, addr
+    LatencySpike,     ///< node, channel, penaltyCycles
+    SrrtCorrected,    ///< group
+    SrrtUncorrectable,///< group
+    RetireRequest,    ///< segBase
+    SegmentRetired,   ///< group
+    FrameRetired,     ///< frameBase
+    // Counter (value is a double, bit-encoded in arg0)
+    CounterHitRate,
+    CounterFootprint,
+    CounterModeMix,
+};
+
+/** Number of TraceKind values (array sizing / iteration). */
+inline constexpr std::size_t traceKindCount =
+    static_cast<std::size_t>(TraceKind::CounterModeMix) + 1;
+
+/** ModeSwitch arg2: what caused the group's mode transition. */
+enum class ModeSwitchTrigger : std::uint64_t
+{
+    IsaAlloc = 0,
+    IsaFree = 1,
+    Retire = 2,
+};
+
+/** One recorded event. POD; 40 bytes. */
+struct TraceEvent
+{
+    Cycle when = 0;
+    TraceKind kind = TraceKind::ModeSwitch;
+    std::uint64_t arg0 = 0;
+    std::uint64_t arg1 = 0;
+    std::uint64_t arg2 = 0;
+};
+
+/** Category of a kind. */
+TraceCategory traceCategoryOf(TraceKind kind);
+
+/** Chrome-trace "name" for a kind (snake_case, stable). */
+const char *traceKindName(TraceKind kind);
+
+/** Chrome-trace "cat" label for a category. */
+const char *traceCategoryName(TraceCategory cat);
+
+/**
+ * Name of argument @p i (0..2) of @p kind, or nullptr when the kind
+ * does not use that argument (the exporter omits it).
+ */
+const char *traceArgName(TraceKind kind, std::size_t i);
+
+/** True when arg0 of @p kind is a segment-group id (event dumps). */
+bool traceKindHasGroup(TraceKind kind);
+
+/** True for the counter kinds (arg0 is a bit-encoded double). */
+inline bool
+traceKindIsCounter(TraceKind kind)
+{
+    return traceCategoryOf(kind) == TraceCategory::Counter;
+}
+
+/** Bit-encode a double into a trace argument (counter kinds). */
+inline std::uint64_t
+traceEncodeValue(double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+/** Inverse of traceEncodeValue. */
+inline double
+traceDecodeValue(std::uint64_t bits)
+{
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+} // namespace chameleon
+
+#endif // CHAMELEON_OBS_TRACE_EVENT_HH

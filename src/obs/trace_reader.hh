@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Reader side of the observability layer: a minimal JSON parser (no
+ * external dependency; enough of RFC 8259 for the files this repo
+ * writes) and a Chrome trace-event loader used by the bench/
+ * trace_stats analyzer and by test_trace to round-trip exported
+ * traces. Parsing doubles as schema validation: any structural
+ * deviation from the trace-event format is a hard error, so a trace
+ * that loads here is one Perfetto/chrome://tracing will accept.
+ */
+
+#ifndef CHAMELEON_OBS_TRACE_READER_HH
+#define CHAMELEON_OBS_TRACE_READER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace chameleon
+{
+
+/** One parsed JSON value (tree-owning). */
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /** Insertion-ordered; trace files never repeat keys. */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *get(const std::string &key) const;
+};
+
+/**
+ * Parse @p text as one JSON document. On malformed input returns
+ * Type::Null and stores a human-readable message in @p error.
+ */
+JsonValue parseJson(const std::string &text, std::string &error);
+
+/** One event loaded back from a Chrome trace file. */
+struct ParsedTraceEvent
+{
+    std::string name;
+    std::string cat;
+    std::string ph; ///< "i" (instant) or "C" (counter)
+    double ts = 0.0;
+    std::uint64_t tid = 0;
+    std::vector<std::pair<std::string, double>> args;
+
+    /** Value of argument @p key, or @p fallback when absent. */
+    double arg(const std::string &key, double fallback = 0.0) const;
+};
+
+/** A loaded trace plus its sink accounting. */
+struct ParsedTrace
+{
+    std::vector<ParsedTraceEvent> events; ///< file order
+    std::uint64_t recorded = 0; ///< sink total (otherData)
+    std::uint64_t dropped = 0;  ///< ring-wraparound drops (otherData)
+};
+
+/**
+ * Load a Chrome trace-event JSON document (string form). Fatal-free:
+ * on any schema violation returns false and sets @p error.
+ */
+bool loadChromeTrace(const std::string &text, ParsedTrace &out,
+                     std::string &error);
+
+/** loadChromeTrace() over the contents of @p path (I/O errors too). */
+bool loadChromeTraceFile(const std::string &path, ParsedTrace &out,
+                         std::string &error);
+
+/** Per-category analysis of a loaded trace. */
+struct TraceCategoryStats
+{
+    std::string category;
+    std::uint64_t events = 0;
+    /** Gaps between consecutive same-category events, microseconds. */
+    Histogram interEventUs{50.0, 40};
+};
+
+/**
+ * Per-category event counts and inter-event latency histograms,
+ * ordered by descending event count.
+ */
+std::vector<TraceCategoryStats> analyzeTrace(const ParsedTrace &trace);
+
+/** Render analyzeTrace() results as the trace_stats report text. */
+std::string formatTraceReport(const ParsedTrace &trace,
+                              const std::vector<TraceCategoryStats> &stats);
+
+} // namespace chameleon
+
+#endif // CHAMELEON_OBS_TRACE_READER_HH

@@ -1,0 +1,266 @@
+#include "obs/trace_sink.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+
+#include "common/log.hh"
+
+namespace chameleon
+{
+namespace
+{
+
+std::uint64_t
+nextSinkId()
+{
+    static std::atomic<std::uint64_t> counter{0};
+    return ++counter;
+}
+
+/** The calling thread's (sink id → ring) fast-path cache. */
+struct RingCache
+{
+    std::uint64_t sinkId = 0; ///< 0 never matches a live sink
+    void *ring = nullptr;
+};
+
+thread_local RingCache tlRingCache;
+
+} // namespace
+
+TraceSink::TraceSink(const TraceSinkConfig &config)
+    : cfg(config), id(nextSinkId())
+{
+    if (cfg.ringEvents == 0)
+        fatal("trace: ring capacity must be non-zero");
+    if (cfg.cyclesPerMicrosecond <= 0.0)
+        fatal("trace: cycles-per-microsecond must be positive");
+}
+
+TraceSink::~TraceSink() = default;
+
+TraceSink::Ring &
+TraceSink::localRing()
+{
+    if (tlRingCache.sinkId == id)
+        return *static_cast<Ring *>(tlRingCache.ring);
+
+    std::lock_guard<std::mutex> guard(registryMtx);
+    const std::thread::id self = std::this_thread::get_id();
+    Ring *ring = nullptr;
+    for (std::size_t i = 0; i < rings.size(); ++i) {
+        if (ringOwners[i] == self) {
+            ring = rings[i].get();
+            break;
+        }
+    }
+    if (!ring) {
+        rings.push_back(std::make_unique<Ring>(cfg.ringEvents));
+        ringOwners.push_back(self);
+        ring = rings.back().get();
+    }
+    tlRingCache = RingCache{id, ring};
+    return *ring;
+}
+
+void
+TraceSink::appendRetained(const Ring &ring, std::vector<TraceEvent> &out)
+{
+    const std::size_t cap = ring.events.size();
+    const std::size_t kept =
+        static_cast<std::size_t>(std::min<std::uint64_t>(ring.head, cap));
+    // Oldest retained event first: when the ring has wrapped, that is
+    // the slot the next record() would overwrite.
+    const std::size_t start =
+        ring.head > cap ? static_cast<std::size_t>(ring.head % cap) : 0;
+    for (std::size_t i = 0; i < kept; ++i)
+        out.push_back(ring.events[(start + i) % cap]);
+}
+
+TraceSinkStats
+TraceSink::stats() const
+{
+    std::lock_guard<std::mutex> guard(registryMtx);
+    TraceSinkStats s;
+    for (const auto &ring : rings) {
+        const std::uint64_t kept =
+            std::min<std::uint64_t>(ring->head, ring->events.size());
+        s.recorded += ring->head;
+        s.retained += kept;
+        s.dropped += ring->head - kept;
+    }
+    return s;
+}
+
+std::vector<TraceEvent>
+TraceSink::sortedEvents() const
+{
+    std::lock_guard<std::mutex> guard(registryMtx);
+    std::vector<TraceEvent> all;
+    for (const auto &ring : rings)
+        appendRetained(*ring, all);
+    std::stable_sort(all.begin(), all.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.when < b.when;
+                     });
+    return all;
+}
+
+std::string
+TraceSink::toChromeJson() const
+{
+    struct Tagged
+    {
+        TraceEvent ev;
+        std::size_t tid;
+    };
+    std::vector<Tagged> all;
+    {
+        std::lock_guard<std::mutex> guard(registryMtx);
+        std::vector<TraceEvent> one;
+        for (std::size_t t = 0; t < rings.size(); ++t) {
+            one.clear();
+            appendRetained(*rings[t], one);
+            for (const TraceEvent &ev : one)
+                all.push_back(Tagged{ev, t});
+        }
+    }
+    // Monotonic "ts" regardless of how thread buffers interleave.
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Tagged &a, const Tagged &b) {
+                         return a.ev.when < b.ev.when;
+                     });
+
+    const double usPerCycle = 1.0 / cfg.cyclesPerMicrosecond;
+    std::string out;
+    out.reserve(all.size() * 120 + 256);
+    out += "{\"traceEvents\":[";
+    bool first = true;
+    for (const Tagged &t : all) {
+        const TraceEvent &ev = t.ev;
+        if (!first)
+            out += ",\n";
+        first = false;
+        const double ts = static_cast<double>(ev.when) * usPerCycle;
+        if (traceKindIsCounter(ev.kind)) {
+            out += strFormat(
+                "{\"name\":\"%s\",\"cat\":\"counter\",\"ph\":\"C\","
+                "\"ts\":%.3f,\"pid\":0,\"tid\":%zu,"
+                "\"args\":{\"value\":%.6g}}",
+                traceKindName(ev.kind), ts, t.tid,
+                traceDecodeValue(ev.arg0));
+            continue;
+        }
+        out += strFormat(
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"g\","
+            "\"ts\":%.3f,\"pid\":0,\"tid\":%zu,\"args\":{",
+            traceKindName(ev.kind),
+            traceCategoryName(traceCategoryOf(ev.kind)), ts, t.tid);
+        const std::uint64_t args[3] = {ev.arg0, ev.arg1, ev.arg2};
+        bool firstArg = true;
+        for (std::size_t i = 0; i < 3; ++i) {
+            const char *name = traceArgName(ev.kind, i);
+            if (!name)
+                continue;
+            if (!firstArg)
+                out += ",";
+            firstArg = false;
+            out += strFormat("\"%s\":%" PRIu64, name, args[i]);
+        }
+        out += "}}";
+    }
+    const TraceSinkStats s = stats();
+    out += strFormat(
+        "],\n\"displayTimeUnit\":\"ms\","
+        "\"otherData\":{\"recorded\":%" PRIu64 ",\"dropped\":%" PRIu64
+        ",\"cycles_per_us\":%.3f}}\n",
+        s.recorded, s.dropped, cfg.cyclesPerMicrosecond);
+    return out;
+}
+
+void
+TraceSink::writeChromeJson(const std::string &path) const
+{
+    const std::string json = toChromeJson();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("trace: cannot open '%s' for writing", path.c_str());
+    const std::size_t wrote =
+        std::fwrite(json.data(), 1, json.size(), f);
+    if (std::fclose(f) != 0 || wrote != json.size())
+        fatal("trace: short write to '%s'", path.c_str());
+}
+
+void
+TraceSink::dumpRecentForGroup(std::uint64_t group, std::size_t n) const
+{
+    const std::vector<TraceEvent> all = sortedEvents();
+    // Keep the most recent n events that concern @p group; non-group
+    // kinds (ISA/OS/counter context) are retained alongside them.
+    std::vector<const TraceEvent *> window;
+    std::size_t groupHits = 0;
+    for (auto it = all.rbegin(); it != all.rend() && groupHits < n;
+         ++it) {
+        const bool hasGroup = traceKindHasGroup(it->kind);
+        if (hasGroup && it->arg0 != group)
+            continue;
+        if (hasGroup)
+            ++groupHits;
+        window.push_back(&*it);
+    }
+
+    std::string dump = strFormat(
+        "trace: last %zu events for group %" PRIu64
+        " (plus non-group context), most recent last:\n",
+        groupHits, group);
+    for (auto it = window.rbegin(); it != window.rend(); ++it) {
+        const TraceEvent &ev = **it;
+        dump += strFormat("  [%12" PRIu64 "] %-18s", ev.when,
+                          traceKindName(ev.kind));
+        if (traceKindIsCounter(ev.kind)) {
+            dump += strFormat(" value=%.6g\n",
+                              traceDecodeValue(ev.arg0));
+            continue;
+        }
+        const std::uint64_t args[3] = {ev.arg0, ev.arg1, ev.arg2};
+        for (std::size_t i = 0; i < 3; ++i) {
+            const char *name = traceArgName(ev.kind, i);
+            if (name)
+                dump += strFormat(" %s=%" PRIu64, name, args[i]);
+        }
+        dump += "\n";
+    }
+    std::fputs(dump.c_str(), stderr);
+}
+
+std::string
+perCellObsPath(const std::string &base, std::size_t cell,
+               const std::string &design, const std::string &app)
+{
+    auto sanitize = [](const std::string &label) {
+        std::string out = label;
+        for (char &c : out) {
+            const bool ok = (c >= 'a' && c <= 'z') ||
+                            (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '.' ||
+                            c == '_' || c == '-';
+            if (!ok)
+                c = '-';
+        }
+        return out;
+    };
+    const std::string tag = strFormat(
+        ".cell%zu.%s.%s", cell, sanitize(design).c_str(),
+        sanitize(app).c_str());
+    const std::size_t dot = base.rfind('.');
+    const std::size_t slash = base.rfind('/');
+    const bool hasExt =
+        dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash);
+    if (hasExt)
+        return base.substr(0, dot) + tag + base.substr(dot);
+    return base + tag;
+}
+
+} // namespace chameleon

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace_sink.hh"
+
 namespace chameleon
 {
 
@@ -67,6 +69,9 @@ AutoNuma::endEpoch(Cycle when)
         }
     }
 
+    TraceSink::emit(trace, when, TraceKind::AutoNumaEpoch,
+                    current.migrated, current.failedMigrations,
+                    current.remoteAccesses);
     history.push_back(current);
     current = AutoNumaEpoch();
     remoteHot.clear();

@@ -84,6 +84,9 @@ class AutoNuma
 
     std::uint64_t totalMigrations() const { return migrationsTotal; }
 
+    /** Attach a trace sink (epoch-summary events). Null detaches. */
+    void setTraceSink(TraceSink *sink) { trace = sink; }
+
   private:
     void endEpoch(Cycle when);
 
@@ -111,6 +114,7 @@ class AutoNuma
 
     MiniOs &os;
     AutoNumaConfig cfg;
+    TraceSink *trace = nullptr;
     Cycle epochStart = 0;
     AutoNumaEpoch current;
     /** Per-epoch remote-access counters; touched on every remote

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/trace_sink.hh"
 
 namespace chameleon
 {
@@ -268,7 +269,7 @@ FrameAllocator::isAllocated(Addr base) const
 }
 
 void
-FrameAllocator::retireFrame(Addr base)
+FrameAllocator::retireFrame(Addr base, Cycle when)
 {
     if (base % pageBytes != 0 || base >= capacity())
         panic("FrameAllocator: bad frame retire %#llx",
@@ -304,6 +305,7 @@ FrameAllocator::retireFrame(Addr base)
     --chunkFreeFrames[chunk];
     --z.freePageCount;
     ++statsData.retiredFrames;
+    TraceSink::emit(trace, when, TraceKind::FrameRetired, base);
 }
 
 bool

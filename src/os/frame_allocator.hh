@@ -34,6 +34,8 @@
 namespace chameleon
 {
 
+class TraceSink;
+
 /** Base page and huge page sizes (Linux x86-64 defaults). */
 inline constexpr std::uint64_t pageBytes = 4_KiB;
 inline constexpr std::uint64_t hugePageBytes = 2_MiB;
@@ -133,15 +135,19 @@ class FrameAllocator
      * segment retirement): it leaves the free lists and is never
      * handed out again, and its chunk can never be re-assembled into
      * a huge page. The frame must not be in use — the OS evicts any
-     * resident page before retiring. Idempotent.
+     * resident page before retiring. Idempotent. @p when timestamps
+     * the trace event if a sink is attached.
      */
-    void retireFrame(Addr base);
+    void retireFrame(Addr base, Cycle when = 0);
 
     /** True if the frame at @p base has been retired. */
     bool isRetired(Addr base) const;
 
     const FrameAllocatorStats &stats() const { return statsData; }
     const FrameAllocatorConfig &config() const { return cfg; }
+
+    /** Attach a trace sink (frame-retirement events). Null detaches. */
+    void setTraceSink(TraceSink *sink) { trace = sink; }
 
   private:
     enum class ChunkState : std::uint8_t
@@ -178,6 +184,7 @@ class FrameAllocator
     std::vector<MemNode> zoneOrder();
 
     FrameAllocatorConfig cfg;
+    TraceSink *trace = nullptr;
     Rng policyRng{1};
     Zone stackedZone;
     Zone offchipZone;

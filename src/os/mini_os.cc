@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/trace_sink.hh"
 
 namespace chameleon
 {
@@ -16,6 +17,13 @@ std::uint64_t
 MiniOs::segmentBytes() const
 {
     return isa ? isa->isaSegmentBytes() : 2048;
+}
+
+void
+MiniOs::setTraceSink(TraceSink *sink)
+{
+    trace = sink;
+    frames.setTraceSink(sink);
 }
 
 MiniOs::Process &
@@ -63,6 +71,8 @@ MiniOs::emitAllocs(Addr page_base, std::uint64_t bytes, Cycle when)
     for (std::uint64_t off = 0; off < bytes; off += seg) {
         isa->isaAlloc(page_base + off, when);
         ++statsData.isaAllocs;
+        TraceSink::emit(trace, when, TraceKind::IsaAlloc,
+                        page_base + off);
     }
 }
 
@@ -75,6 +85,8 @@ MiniOs::emitFrees(Addr page_base, std::uint64_t bytes, Cycle when)
     for (std::uint64_t off = 0; off < bytes; off += seg) {
         isa->isaFree(page_base + off, when);
         ++statsData.isaFrees;
+        TraceSink::emit(trace, when, TraceKind::IsaFree,
+                        page_base + off);
     }
 }
 
@@ -171,6 +183,8 @@ MiniOs::evictOnePage(Cycle when)
         frames.freePage(pfn);
         emitFrees(pfn, pageBytes, when);
         ++statsData.swapOuts;
+        TraceSink::emit(trace, when, TraceKind::SwapOut, entry.pid,
+                        entry.vpn, pfn);
         return true;
     }
     return false;
@@ -290,6 +304,8 @@ MiniOs::translate(ProcId pid, Addr vaddr, AccessType type, Cycle when)
             result.majorFault = true;
             ++statsData.majorFaults;
             ++statsData.swapIns;
+            TraceSink::emit(trace, when, TraceKind::MajorFault, pid,
+                            vpn);
         } else {
             // Minor fault: demand-zero mapping on first touch.
             auto frame = obtainFrame(when, evicted);
@@ -300,6 +316,8 @@ MiniOs::translate(ProcId pid, Addr vaddr, AccessType type, Cycle when)
             result.stall = cfg.minorFaultLatency;
             result.minorFault = true;
             ++statsData.minorFaults;
+            TraceSink::emit(trace, when, TraceKind::MinorFault, pid,
+                            vpn);
         }
     }
 
@@ -355,6 +373,8 @@ MiniOs::migratePage(ProcId pid, std::uint64_t vpn, MemNode target,
     if (cfg.emitIsaHooks && isa)
         isa->isaMigrate(old_pfn, *frame, pageBytes, when);
     ++statsData.migrations;
+    TraceSink::emit(trace, when, TraceKind::PageMigration, pid,
+                    old_pfn, *frame);
     return true;
 }
 
@@ -364,6 +384,7 @@ MiniOs::isaRetire(Addr frame_base, Cycle when)
     ++statsData.isaRetires;
     if (frames.isRetired(frame_base))
         return;
+    TraceSink::emit(trace, when, TraceKind::IsaRetire, frame_base);
     if (frames.isAllocated(frame_base)) {
         // Evict the page resident in the failing frame, exactly like
         // a reclaim victim: its contents survive on swap and fault
@@ -393,10 +414,12 @@ MiniOs::isaRetire(Addr frame_base, Cycle when)
             frames.freePage(frame_base);
             emitFrees(frame_base, pageBytes, when);
             ++statsData.swapOuts;
+            TraceSink::emit(trace, when, TraceKind::SwapOut,
+                            entry.pid, entry.vpn, frame_base);
             break;
         }
     }
-    frames.retireFrame(frame_base);
+    frames.retireFrame(frame_base, when);
 }
 
 std::optional<MemNode>

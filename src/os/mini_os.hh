@@ -32,6 +32,8 @@
 namespace chameleon
 {
 
+class TraceSink;
+
 /** Mini-OS construction parameters. */
 struct OsConfig
 {
@@ -144,6 +146,13 @@ class MiniOs
     /** Segment size used for ISA notifications. */
     std::uint64_t segmentBytes() const;
 
+    /**
+     * Attach a trace sink; fault, reclaim, migration, retirement and
+     * ISA events are recorded through it (also forwarded to the frame
+     * allocator). Null detaches.
+     */
+    void setTraceSink(TraceSink *sink);
+
   private:
     struct Pte
     {
@@ -200,6 +209,7 @@ class MiniOs
     OsConfig cfg;
     FrameAllocator frames;
     IsaListener *isa;
+    TraceSink *trace = nullptr;
     std::vector<Process> processes;
     std::vector<ClockEntry> residentList;
     std::size_t clockHand = 0;

@@ -82,6 +82,22 @@ parseBenchArgs(int argc, char **argv)
                 fatal("--retries %llu is not plausible (max 100)",
                       static_cast<unsigned long long>(n));
             opts.maxRetries = static_cast<unsigned>(n);
+        } else if (flag == "--trace") {
+            if (i + 1 >= argc)
+                fatal("missing value for --trace");
+            opts.tracePath = argv[++i];
+            if (opts.tracePath.empty())
+                fatal("--trace requires a non-empty path");
+        } else if (flag == "--metrics") {
+            if (i + 1 >= argc)
+                fatal("missing value for --metrics");
+            opts.metricsPath = argv[++i];
+            if (opts.metricsPath.empty())
+                fatal("--metrics requires a non-empty path");
+        } else if (flag == "--metrics-interval") {
+            opts.metricsIntervalCycles = next_val();
+            if (opts.metricsIntervalCycles == 0)
+                fatal("--metrics-interval must be positive");
         } else if (flag == "--quiet") {
             setQuiet(true);
         } else if (flag == "--help") {
@@ -91,7 +107,8 @@ parseBenchArgs(int argc, char **argv)
                 "--stacked-gib N --offchip-gib N --jobs N "
                 "--json PATH --oracle --quiet "
                 "--faults R --fault-stuck F --fault-spikes R "
-                "--checkpoint PATH --timeout SEC --retries N\n");
+                "--checkpoint PATH --timeout SEC --retries N "
+                "--trace PATH --metrics PATH --metrics-interval N\n");
             std::exit(0);
         } else if (flag.rfind("--benchmark", 0) == 0) {
             // Tolerate google-benchmark runner flags.
@@ -141,6 +158,9 @@ makeSystemConfig(Design design, const BenchOptions &opts)
         cfg.faults.stuckSegmentFraction = opts.faultStuck;
         cfg.faults.spikeRate = opts.faultSpikes;
     }
+    cfg.obs.tracePath = opts.tracePath;
+    cfg.obs.metricsPath = opts.metricsPath;
+    cfg.obs.metricsIntervalCycles = opts.metricsIntervalCycles;
     return cfg;
 }
 

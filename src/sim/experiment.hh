@@ -31,6 +31,17 @@
  *                     sweep
  *   --retries N       re-run a throwing cell up to N times with
  *                     exponential backoff before marking it failed
+ *   --trace P             write a Chrome trace-event JSON (Perfetto /
+ *                         chrome://tracing loadable) of every mode
+ *                         switch, swap, ISA event, fault and OS event
+ *                         to P; sweep grids write one file per cell
+ *                         with ".cell<N>.<design>.<app>" inserted
+ *                         before the extension
+ *   --metrics P           write the periodic metric snapshots as a
+ *                         time series to P (".json" = JSON, else CSV);
+ *                         per-cell naming as for --trace
+ *   --metrics-interval N  cycles between metric snapshots
+ *                         (default 1,000,000)
  */
 
 #ifndef CHAMELEON_SIM_EXPERIMENT_HH
@@ -79,6 +90,13 @@ struct BenchOptions
     double cellTimeoutSec = 0.0;
     /** Retries per throwing cell before it is marked failed. */
     unsigned maxRetries = 0;
+
+    /** Chrome trace-event JSON output path; empty = tracing off. */
+    std::string tracePath;
+    /** Metric time-series output path; empty = off. */
+    std::string metricsPath;
+    /** Cycles between metric snapshots. */
+    Cycle metricsIntervalCycles = 1'000'000;
 
     bool
     faultsRequested() const

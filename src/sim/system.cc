@@ -106,9 +106,140 @@ System::System(const SystemConfig &config) : cfg(config)
             fatal("System: AutoNUMA requires the numa-flat design");
         autoNuma = std::make_unique<AutoNuma>(*miniOs, cfg.autonuma);
     }
+
+    attachObservability();
 }
 
 System::~System() = default;
+
+void
+System::attachObservability()
+{
+    registry = std::make_unique<MetricsRegistry>();
+
+    if (cfg.obs.traceEnabled()) {
+        TraceSinkConfig tsc;
+        tsc.ringEvents = cfg.obs.traceRingEvents;
+        sink = std::make_unique<TraceSink>(tsc);
+        org->setTraceSink(sink.get());
+        miniOs->setTraceSink(sink.get()); // forwards to the allocator
+        if (autoNuma)
+            autoNuma->setTraceSink(sink.get());
+        if (stackedDev)
+            stackedDev->setTraceSink(sink.get());
+        offchipDev->setTraceSink(sink.get());
+        if (injector)
+            injector->setTraceSink(sink.get());
+        if (oracle)
+            oracle->invariants().setTraceSink(sink.get());
+    }
+
+    registerMetrics();
+
+    // With neither a sink nor a series file the periodic sampling in
+    // runPhase() reduces to one always-false comparison per access.
+    if (!sink && cfg.obs.metricsPath.empty())
+        nextSnapshotCycle = ~static_cast<Cycle>(0);
+}
+
+void
+System::registerMetrics()
+{
+    MetricsRegistry &r = *registry;
+
+    // Memory organization: demand traffic and reconfiguration work.
+    const MemOrgStats &ms = org->stats();
+    r.registerCounter("reads", &ms.reads);
+    r.registerCounter("writes", &ms.writes);
+    r.registerCounter("stacked_served", &ms.stackedServed);
+    r.registerCounter("offchip_served", &ms.offchipServed);
+    r.registerCounter("swaps", &ms.swaps);
+    r.registerCounter("fills", &ms.fills);
+    r.registerCounter("writebacks", &ms.writebacks);
+    r.registerCounter("isa_moves", &ms.isaMoves);
+    r.registerMetric("hit_rate", MetricKind::Gauge,
+                     [this] { return org->stats().stackedHitRate(); });
+    r.registerMetric("amal", MetricKind::Gauge,
+                     [this] { return org->stats().avgMemLatency(); });
+    if (auto *cham = dynamic_cast<ChameleonMemory *>(org.get()))
+        r.registerMetric("cache_mode_fraction", MetricKind::Gauge,
+                         [cham] { return cham->cacheModeFraction(); });
+    r.registerMetric("retired_segments", MetricKind::Gauge, [this] {
+        return static_cast<double>(org->retiredSegmentCount());
+    });
+
+    // OS: faults, swap, ISA event handling and memory pressure.
+    const OsStats &os = miniOs->stats();
+    r.registerCounter("minor_faults", &os.minorFaults);
+    r.registerCounter("major_faults", &os.majorFaults);
+    r.registerCounter("swap_outs", &os.swapOuts);
+    r.registerCounter("swap_ins", &os.swapIns);
+    r.registerCounter("isa_allocs", &os.isaAllocs);
+    r.registerCounter("isa_frees", &os.isaFrees);
+    r.registerCounter("isa_retires", &os.isaRetires);
+    r.registerCounter("migrations", &os.migrations);
+    r.registerMetric("free_bytes", MetricKind::Gauge, [this] {
+        return static_cast<double>(miniOs->allocator().freeBytes());
+    });
+    r.registerMetric("footprint_bytes", MetricKind::Gauge, [this] {
+        const FrameAllocator &fa = miniOs->allocator();
+        return static_cast<double>(fa.capacity() - fa.freeBytes());
+    });
+
+    // DRAM devices: ECC outcomes and spike delays live per device.
+    r.registerMetric("ecc_corrected", MetricKind::Counter, [this] {
+        std::uint64_t n = offchipDev->stats().eccCorrected;
+        if (stackedDev)
+            n += stackedDev->stats().eccCorrected;
+        return static_cast<double>(n);
+    });
+    r.registerMetric("ecc_uncorrectable", MetricKind::Counter, [this] {
+        std::uint64_t n = offchipDev->stats().eccUncorrectable;
+        if (stackedDev)
+            n += stackedDev->stats().eccUncorrectable;
+        return static_cast<double>(n);
+    });
+
+    // Fault injector: raw injection counts.
+    if (injector) {
+        const FaultStats &fs = injector->stats();
+        r.registerCounter("fault_flips_injected", &fs.flipsInjected);
+        r.registerCounter("fault_stuck_hits", &fs.stuckHits);
+        r.registerCounter("fault_srrt_corrected", &fs.srrtCorrected);
+        r.registerCounter("fault_srrt_uncorrectable",
+                          &fs.srrtUncorrectable);
+        r.registerCounter("fault_spike_delays", &fs.spikeDelays);
+        r.registerCounter("fault_timeouts", &fs.timeouts);
+        r.registerCounter("fault_retirements_requested",
+                          &fs.retirementsRequested);
+    }
+}
+
+void
+System::snapshotMetrics(Cycle now)
+{
+    registry->snapshot(now);
+    if (!sink)
+        return;
+    // Mirror the headline gauges into Chrome counter tracks so the
+    // trace viewer plots them alongside the event stream.
+    sink->recordCounter(now, TraceKind::CounterHitRate,
+                        registry->value("hit_rate"));
+    sink->recordCounter(now, TraceKind::CounterFootprint,
+                        registry->value("footprint_bytes"));
+    if (registry->has("cache_mode_fraction"))
+        sink->recordCounter(now, TraceKind::CounterModeMix,
+                            registry->value("cache_mode_fraction"));
+}
+
+void
+System::writeObsOutputs()
+{
+    if (sink && !cfg.obs.tracePath.empty())
+        sink->writeChromeJson(cfg.obs.tracePath);
+    if (!cfg.obs.metricsPath.empty())
+        registry->writeSeries(cfg.obs.metricsPath);
+}
 
 void
 System::buildOrganization()
@@ -227,6 +358,7 @@ System::runPhase(std::uint64_t retire_target)
         }
 
         CoreModel &core = cores[c];
+        maybeSnapshot(core.now());
         const MemOp op = streams[c]->next();
         if (op.gap > 1)
             core.retireCompute(op.gap - 1);
@@ -321,8 +453,8 @@ System::run(std::uint64_t instr_per_core, std::uint64_t warmup_per_core)
     // Snapshot post-warmup state so the report covers only the
     // measured region.
     org->resetStats();
-    const std::uint64_t faults0 = miniOs->stats().majorFaults;
-    const std::uint64_t minor0 = miniOs->stats().minorFaults;
+    const double faults0 = registry->value("major_faults");
+    const double minor0 = registry->value("minor_faults");
     struct Snap
     {
         Cycle clock;
@@ -359,16 +491,21 @@ System::run(std::uint64_t instr_per_core, std::uint64_t warmup_per_core)
     res.cpuUtilization = util_sum / static_cast<double>(cores.size());
     res.instructions = total_instr;
 
-    const MemOrgStats &ms = org->stats();
-    res.stackedHitRate = ms.stackedHitRate();
-    res.swaps = ms.swaps;
-    res.fills = ms.fills;
-    res.amal = ms.avgMemLatency();
-    res.memRefs = ms.reads + ms.writes;
-    res.majorFaults = miniOs->stats().majorFaults - faults0;
-    res.minorFaults = miniOs->stats().minorFaults - minor0;
-    if (auto *cham = dynamic_cast<ChameleonMemory *>(org.get()))
-        res.cacheModeFraction = cham->cacheModeFraction();
+    // End-of-run aggregation reads the named registry — the same
+    // declarations that feed --metrics snapshots and counter tracks.
+    const MetricsRegistry &r = *registry;
+    res.stackedHitRate = r.value("hit_rate");
+    res.swaps = static_cast<std::uint64_t>(r.value("swaps"));
+    res.fills = static_cast<std::uint64_t>(r.value("fills"));
+    res.amal = r.value("amal");
+    res.memRefs = static_cast<std::uint64_t>(r.value("reads") +
+                                             r.value("writes"));
+    res.majorFaults = static_cast<std::uint64_t>(
+        r.value("major_faults") - faults0);
+    res.minorFaults = static_cast<std::uint64_t>(
+        r.value("minor_faults") - minor0);
+    if (r.has("cache_mode_fraction"))
+        res.cacheModeFraction = r.value("cache_mode_fraction");
     if (oracle) {
         oracle->finalCheck();
         const ShadowOracleStats &os = oracle->stats();
@@ -378,17 +515,16 @@ System::run(std::uint64_t instr_per_core, std::uint64_t warmup_per_core)
         res.oracleViolations = os.violations;
     }
     if (injector) {
-        const FaultStats &fs = injector->stats();
-        res.eccCorrected = offchipDev->stats().eccCorrected;
-        res.eccUncorrectable = offchipDev->stats().eccUncorrectable;
-        if (stackedDev) {
-            res.eccCorrected += stackedDev->stats().eccCorrected;
-            res.eccUncorrectable +=
-                stackedDev->stats().eccUncorrectable;
-        }
-        res.faultSpikes = fs.spikeDelays;
-        res.faultTimeouts = fs.timeouts;
-        res.retiredSegments = org->retiredSegmentCount();
+        res.eccCorrected =
+            static_cast<std::uint64_t>(r.value("ecc_corrected"));
+        res.eccUncorrectable =
+            static_cast<std::uint64_t>(r.value("ecc_uncorrectable"));
+        res.faultSpikes =
+            static_cast<std::uint64_t>(r.value("fault_spike_delays"));
+        res.faultTimeouts =
+            static_cast<std::uint64_t>(r.value("fault_timeouts"));
+        res.retiredSegments =
+            static_cast<std::uint64_t>(r.value("retired_segments"));
         res.retiredBytes =
             res.retiredSegments * cfg.pom.segmentBytes;
         if (firstRetireCycle != noRetireCycle) {
@@ -400,6 +536,14 @@ System::run(std::uint64_t instr_per_core, std::uint64_t warmup_per_core)
                                      : 0;
         }
     }
+
+    // Final sample at the end of the measured region, then flush the
+    // --trace / --metrics output files.
+    Cycle end_cycle = 0;
+    for (const auto &core : cores)
+        end_cycle = std::max(end_cycle, core.now());
+    snapshotMetrics(end_cycle);
+    writeObsOutputs();
     return res;
 }
 

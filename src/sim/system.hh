@@ -17,6 +17,8 @@
 #include "fault/fault_injector.hh"
 #include "memorg/mem_organization.hh"
 #include "memorg/pom.hh"
+#include "obs/metrics_registry.hh"
+#include "obs/trace_sink.hh"
 #include "os/autonuma.hh"
 #include "os/mini_os.hh"
 #include "verify/shadow_oracle.hh"
@@ -41,6 +43,35 @@ enum class Design : std::uint8_t
 
 /** Printable design label. */
 const char *designLabel(Design d);
+
+/** Observability outputs (src/obs): event tracing + metric series. */
+struct ObsConfig
+{
+    /**
+     * Chrome trace-event JSON output path. Non-empty attaches a
+     * TraceSink to every instrumented component and writes the merged
+     * trace at the end of run(). Empty = tracing compiled to a single
+     * null-pointer branch per site.
+     */
+    std::string tracePath;
+    /**
+     * Metric time-series output path ("" = no series file; a ".json"
+     * suffix selects JSON, anything else wide CSV).
+     */
+    std::string metricsPath;
+    /** Cycles between periodic metric snapshots / counter samples. */
+    Cycle metricsIntervalCycles = 1'000'000;
+    /** Events retained per producing thread in the trace ring. */
+    std::size_t traceRingEvents = 1u << 16;
+    /**
+     * Attach a TraceSink even without a tracePath, so tests (and the
+     * invariant checker's violation dumps) can inspect events in
+     * memory without touching the filesystem.
+     */
+    bool forceTrace = false;
+
+    bool traceEnabled() const { return forceTrace || !tracePath.empty(); }
+};
 
 /** Full machine configuration. */
 struct SystemConfig
@@ -92,6 +123,9 @@ struct SystemConfig
      * ISA-Retire into the OS frame blacklist).
      */
     FaultConfig faults;
+
+    /** Observability: --trace / --metrics outputs. */
+    ObsConfig obs;
 
     std::uint64_t stackedBytes() const
     {
@@ -199,10 +233,35 @@ class System
     ShadowOracle *shadowOracle() { return oracle.get(); }
     /** Null unless SystemConfig::faults.enabled. */
     FaultInjector *faultInjector() { return injector.get(); }
+    /** Null unless ObsConfig::traceEnabled(). */
+    TraceSink *traceSink() { return sink.get(); }
+    /** Always present; every component counter is named here. */
+    MetricsRegistry &metricsRegistry() { return *registry; }
     const SystemConfig &config() const { return cfg; }
 
   private:
     void buildOrganization();
+    /** Attach the trace sink and register every named metric. */
+    void attachObservability();
+    void registerMetrics();
+    /**
+     * Sample every metric into its Timeline and mirror the headline
+     * gauges (hit rate, footprint, mode mix) into the sink's Chrome
+     * counter tracks.
+     */
+    void snapshotMetrics(Cycle now);
+    /** Periodic-snapshot gate driven from the runPhase loop. */
+    void
+    maybeSnapshot(Cycle now)
+    {
+        if (now >= nextSnapshotCycle) [[unlikely]] {
+            snapshotMetrics(now);
+            nextSnapshotCycle =
+                now + cfg.obs.metricsIntervalCycles;
+        }
+    }
+    /** Write --trace / --metrics output files (end of run()). */
+    void writeObsOutputs();
     void runPhase(std::uint64_t retire_target);
 
     /**
@@ -222,6 +281,10 @@ class System
     std::unique_ptr<OracleIsaShim> isaShim;
     std::unique_ptr<MiniOs> miniOs;
     std::unique_ptr<AutoNuma> autoNuma;
+    std::unique_ptr<TraceSink> sink;
+    std::unique_ptr<MetricsRegistry> registry;
+    /** Next cycle at which maybeSnapshot() fires. */
+    Cycle nextSnapshotCycle = 0;
 
     /** Shadow key: (process, virtual address) packed into one Addr. */
     static Addr

@@ -6,6 +6,7 @@
 #include "memorg/alloy_cache.hh"
 #include "memorg/mem_organization.hh"
 #include "memorg/pom.hh"
+#include "obs/trace_sink.hh"
 #include "os/frame_allocator.hh"
 
 namespace chameleon
@@ -262,6 +263,18 @@ InvariantChecker::checkAlloyLine(std::uint64_t line,
     }
 }
 
+void
+InvariantChecker::maybeDumpTrace(std::uint64_t group, std::size_t had,
+                                 const std::vector<std::string> &out)
+{
+    if (!trace || traceDumped || out.size() == had)
+        return;
+    traceDumped = true;
+    warn("invariant violation in group %llu; dumping trace context",
+         static_cast<unsigned long long>(group));
+    trace->dumpRecentForGroup(group);
+}
+
 std::vector<std::string>
 InvariantChecker::checkAt(Addr phys)
 {
@@ -272,6 +285,7 @@ InvariantChecker::checkAt(Addr phys)
         checkPomGroup(g, out);
         if (cham)
             checkChamGroup(g, out);
+        maybeDumpTrace(g, 0, out);
     } else if (alloy) {
         ++checks;
         checkAlloyLine(alloy->lineIndexOf(phys), out);
@@ -287,11 +301,13 @@ InvariantChecker::checkAll(bool with_os_view)
         const std::uint64_t groups = pom->space().numGroups();
         for (std::uint64_t g = 0; g < groups; ++g) {
             ++checks;
+            const std::size_t had = out.size();
             checkPomGroup(g, out);
             if (cham)
                 checkChamGroup(g, out);
             if (with_os_view)
                 checkOsAgreement(g, out);
+            maybeDumpTrace(g, had, out);
         }
     } else if (alloy) {
         for (std::uint64_t l = 0; l < alloy->numLines(); ++l) {

@@ -57,6 +57,7 @@ class ChameleonMemory;
 class ChameleonOptMemory;
 class AlloyCache;
 class FrameAllocator;
+class TraceSink;
 
 /** Invariant checker over one organization's metadata. */
 class InvariantChecker
@@ -70,6 +71,14 @@ class InvariantChecker
      * same OS-visible address space as the organization.
      */
     void setOsView(const FrameAllocator *frames) { osFrames = frames; }
+
+    /**
+     * Attach the run's trace sink. The first violated group then has
+     * its recent trace history (last 64 events naming that group,
+     * plus surrounding non-group context) dumped to stderr, giving
+     * the exact reconfiguration sequence that led to the corruption.
+     */
+    void setTraceSink(const TraceSink *sink) { trace = sink; }
 
     /**
      * Targeted check of the remap structure covering @p phys (one
@@ -100,6 +109,10 @@ class InvariantChecker
     void checkOsAgreement(std::uint64_t group,
                           std::vector<std::string> &out);
 
+    /** Dump trace context for @p group on its first violation. */
+    void maybeDumpTrace(std::uint64_t group, std::size_t had,
+                        const std::vector<std::string> &out);
+
     MemOrganization *org;
     /** Family pointers; null when the org is not of that family. */
     PomMemory *pom = nullptr;
@@ -107,6 +120,9 @@ class InvariantChecker
     ChameleonOptMemory *opt = nullptr;
     AlloyCache *alloy = nullptr;
     const FrameAllocator *osFrames = nullptr;
+    const TraceSink *trace = nullptr;
+    /** One dump per run: the first corruption is the informative one. */
+    bool traceDumped = false;
     std::uint64_t checks = 0;
 };
 
