@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Closed-loop load generator for chameleond (src/serve).
+ *
+ * Starts an in-process Server on an ephemeral loopback port, then
+ * sweeps client counts: each client thread opens its own TCP
+ * connection and loops submit -> blocking result, measuring the full
+ * request round-trip (queueing + simulation + wire). Per-sweep output
+ * is throughput plus p50/p95/p99 latency; the final stage drains the
+ * server under full load and checks the zero-lost-jobs invariant.
+ *
+ * Flags:
+ *   --max-clients N   top of the client sweep (default 64)
+ *   --requests N      requests per client per sweep (default 6)
+ *   --workers N       server worker threads (default 4)
+ *   --queue N         server pending-queue bound (default 128)
+ *   --scale/--instr/--refs/--seed   job size knobs (serve-sized
+ *                     defaults: 256 / 20000 / 1000)
+ *   --json P          write results (default BENCH_serving.json)
+ *   --quiet
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+
+namespace
+{
+
+using namespace chameleon;
+using namespace chameleon::serve;
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+/** Latencies must be sorted. */
+double
+percentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const auto n = static_cast<double>(sorted.size());
+    auto idx = static_cast<std::size_t>(p * n);
+    if (idx >= sorted.size())
+        idx = sorted.size() - 1;
+    return sorted[idx];
+}
+
+/** The (design, app) mix the clients rotate through. */
+struct JobMix
+{
+    const char *design;
+    const char *app;
+};
+
+constexpr JobMix kMix[] = {
+    {"chameleon-opt", "stream"}, {"chameleon", "mcf"},
+    {"alloy-cache", "lbm"},      {"pom", "hpccg"},
+    {"flat-ddr", "stream"},      {"chameleon-opt", "leslie3d"},
+};
+constexpr std::size_t kMixSize = sizeof(kMix) / sizeof(kMix[0]);
+
+struct ClientTally
+{
+    std::vector<double> latenciesMs;
+    std::uint64_t ok = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t busy = 0;
+    std::uint64_t draining = 0;
+    std::uint64_t errors = 0;
+};
+
+/** One closed-loop client: submit, block for the result, repeat. */
+ClientTally
+clientLoop(std::uint16_t port, unsigned client_idx, unsigned requests,
+           const BenchOptions &bench)
+{
+    ClientTally tally;
+    ClientConfig ccfg;
+    ccfg.port = port;
+    ccfg.ioTimeoutMs = 120'000;
+    Client client(ccfg);
+
+    for (unsigned r = 0; r < requests; ++r) {
+        const JobMix &mix = kMix[(client_idx + r) % kMixSize];
+        SubmitRunRequest req;
+        req.design = mix.design;
+        req.app = mix.app;
+        req.seed = 1 + client_idx * 1000 + r;
+        req.scale = bench.scale;
+        req.instrPerCore = bench.instrPerCore;
+        req.minRefsPerCore = bench.minRefsPerCore;
+
+        const auto t0 = Clock::now();
+        try {
+            const SubmitRunReply sub = client.submitRun(req);
+            const JobResultReply res =
+                client.result(sub.jobId, 120'000);
+            tally.latenciesMs.push_back(msSince(t0));
+            if (res.state == JobState::Ok)
+                ++tally.ok;
+            else if (res.state == JobState::Degraded)
+                ++tally.degraded;
+            else
+                ++tally.errors;
+        } catch (const ServeError &ex) {
+            if (ex.kind() == ServeErrorKind::ServerError &&
+                ex.code() == ErrCode::Busy) {
+                // Closed-loop backoff: the queue bound pushed back.
+                ++tally.busy;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+                --r;
+                continue;
+            }
+            if (ex.kind() == ServeErrorKind::ServerError &&
+                ex.code() == ErrCode::Draining) {
+                ++tally.draining;
+                break; // the drain stage ends this client's loop
+            }
+            ++tally.errors;
+            warn("serve_load client %u: %s", client_idx, ex.what());
+            break;
+        }
+    }
+    return tally;
+}
+
+struct SweepResult
+{
+    unsigned clients = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t busy = 0;
+    std::uint64_t errors = 0;
+    double wallSeconds = 0.0;
+    double throughput = 0.0;
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+SweepResult
+runSweep(std::uint16_t port, unsigned clients, unsigned requests,
+         const BenchOptions &bench)
+{
+    std::vector<ClientTally> tallies(clients);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+
+    const auto t0 = Clock::now();
+    for (unsigned c = 0; c < clients; ++c)
+        threads.emplace_back([&, c] {
+            tallies[c] = clientLoop(port, c, requests, bench);
+        });
+    for (auto &t : threads)
+        t.join();
+
+    SweepResult out;
+    out.clients = clients;
+    out.wallSeconds = msSince(t0) / 1000.0;
+
+    std::vector<double> lat;
+    for (const ClientTally &t : tallies) {
+        lat.insert(lat.end(), t.latenciesMs.begin(),
+                   t.latenciesMs.end());
+        out.completed += t.ok + t.degraded;
+        out.busy += t.busy;
+        out.errors += t.errors;
+    }
+    std::sort(lat.begin(), lat.end());
+    out.throughput =
+        out.wallSeconds > 0
+            ? static_cast<double>(out.completed) / out.wallSeconds
+            : 0.0;
+    out.p50 = percentile(lat, 0.50);
+    out.p95 = percentile(lat, 0.95);
+    out.p99 = percentile(lat, 0.99);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned maxClients = 64;
+    unsigned requests = 6;
+    ServerConfig scfg;
+    scfg.workers = 4;
+    scfg.queueCapacity = 128;
+    scfg.bench.scale = 256;
+    scfg.bench.instrPerCore = 20'000;
+    scfg.bench.minRefsPerCore = 1'000;
+    std::string jsonPath = "BENCH_serving.json";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char *val = (i + 1 < argc) ? argv[i + 1] : nullptr;
+        auto uns = [&](const char *flag) {
+            if (val == nullptr)
+                fatal("%s expects a value", flag);
+            errno = 0;
+            char *end = nullptr;
+            const unsigned long long v = std::strtoull(val, &end, 10);
+            if (val[0] == '-' || end == val || *end != '\0' ||
+                errno == ERANGE)
+                fatal("%s expects a non-negative integer, got '%s'",
+                      flag, val);
+            ++i;
+            return v;
+        };
+        if (arg == "--max-clients") {
+            maxClients = static_cast<unsigned>(uns("--max-clients"));
+            if (maxClients == 0)
+                fatal("--max-clients must be at least 1");
+        } else if (arg == "--requests") {
+            requests = static_cast<unsigned>(uns("--requests"));
+            if (requests == 0)
+                fatal("--requests must be at least 1");
+        } else if (arg == "--workers") {
+            scfg.workers = static_cast<unsigned>(uns("--workers"));
+            if (scfg.workers == 0)
+                fatal("--workers must be at least 1");
+        } else if (arg == "--queue") {
+            scfg.queueCapacity = uns("--queue");
+            if (scfg.queueCapacity == 0)
+                fatal("--queue must be at least 1");
+        } else if (arg == "--scale") {
+            scfg.bench.scale = uns("--scale");
+        } else if (arg == "--instr") {
+            scfg.bench.instrPerCore = uns("--instr");
+        } else if (arg == "--refs") {
+            scfg.bench.minRefsPerCore = uns("--refs");
+        } else if (arg == "--seed") {
+            scfg.bench.seed = uns("--seed");
+        } else if (arg == "--json") {
+            if (val == nullptr)
+                fatal("--json expects a value");
+            jsonPath = val;
+            ++i;
+        } else if (arg == "--quiet") {
+            setQuiet(true);
+        } else {
+            fatal("unknown flag '%s' (see bench/serve_load.cc)",
+                  arg.c_str());
+        }
+    }
+
+    std::printf("=== serve_load: chameleond closed-loop load ===\n");
+    std::printf("(workers %u, queue %zu, per-job scale 1/%llu "
+                "instr %llu; %u requests/client)\n\n",
+                scfg.workers, scfg.queueCapacity,
+                static_cast<unsigned long long>(scfg.bench.scale),
+                static_cast<unsigned long long>(
+                    scfg.bench.instrPerCore),
+                requests);
+
+    Server server(std::move(scfg));
+    server.start();
+    const std::uint16_t port = server.port();
+
+    // Client sweep: powers of two up to --max-clients (inclusive).
+    std::vector<unsigned> counts;
+    for (unsigned c = 1; c < maxClients; c *= 2)
+        counts.push_back(c);
+    counts.push_back(maxClients);
+
+    std::printf("%9s %10s %12s %9s %9s %9s %6s %7s\n", "clients",
+                "completed", "jobs/s", "p50 ms", "p95 ms", "p99 ms",
+                "busy", "errors");
+    std::vector<SweepResult> sweeps;
+    for (unsigned clients : counts) {
+        const SweepResult r =
+            runSweep(port, clients, requests, server.config().bench);
+        std::printf("%9u %10llu %12.1f %9.1f %9.1f %9.1f %6llu %7llu\n",
+                    r.clients,
+                    static_cast<unsigned long long>(r.completed),
+                    r.throughput, r.p50, r.p95, r.p99,
+                    static_cast<unsigned long long>(r.busy),
+                    static_cast<unsigned long long>(r.errors));
+        sweeps.push_back(r);
+    }
+
+    // Drain under load: relaunch the full client fleet, then request
+    // a drain mid-flight. Every accepted job must still reach a
+    // terminal state (lostJobs() == 0) while late submissions bounce
+    // with Draining.
+    std::printf("\ndrain under load (%u clients)...\n", maxClients);
+    std::atomic<bool> drainDone{false};
+    std::thread drainer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        server.requestDrain();
+        server.awaitDrained();
+        drainDone.store(true);
+    });
+    const SweepResult drainSweep = runSweep(
+        port, maxClients, requests, server.config().bench);
+    drainer.join();
+
+    const ServerStats st = server.stats();
+    const bool lost = st.lostJobs() != 0;
+    std::printf("drain: accepted=%llu terminal=%llu lost=%llu "
+                "rejected_draining=%llu drained=%s\n",
+                static_cast<unsigned long long>(st.accepted),
+                static_cast<unsigned long long>(st.terminal()),
+                static_cast<unsigned long long>(st.lostJobs()),
+                static_cast<unsigned long long>(st.rejectedDraining),
+                drainDone.load() ? "yes" : "no");
+
+    server.stop();
+
+    std::string out = "{\n";
+    out += "  \"schema\": \"chameleon-serve-load-v1\",\n";
+    out += strFormat("  \"workers\": %u,\n", server.config().workers);
+    out += strFormat(
+        "  \"job\": {\"scale\": %llu, \"instr_per_core\": %llu, "
+        "\"min_refs_per_core\": %llu},\n",
+        static_cast<unsigned long long>(server.config().bench.scale),
+        static_cast<unsigned long long>(
+            server.config().bench.instrPerCore),
+        static_cast<unsigned long long>(
+            server.config().bench.minRefsPerCore));
+    out += strFormat("  \"requests_per_client\": %u,\n", requests);
+    out += "  \"sweeps\": [\n";
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+        const SweepResult &r = sweeps[i];
+        out += strFormat(
+            "    {\"clients\": %u, \"completed\": %llu, ", r.clients,
+            static_cast<unsigned long long>(r.completed));
+        out += "\"throughput_jobs_per_s\": " +
+               jsonNumber(r.throughput, 6) + ", ";
+        out += "\"p50_ms\": " + jsonNumber(r.p50, 6) + ", ";
+        out += "\"p95_ms\": " + jsonNumber(r.p95, 6) + ", ";
+        out += "\"p99_ms\": " + jsonNumber(r.p99, 6) + ", ";
+        out += strFormat("\"busy_rejections\": %llu, "
+                         "\"errors\": %llu}",
+                         static_cast<unsigned long long>(r.busy),
+                         static_cast<unsigned long long>(r.errors));
+        out += (i + 1 < sweeps.size()) ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+    out += strFormat(
+        "  \"drain_under_load\": {\"clients\": %u, "
+        "\"accepted\": %llu, \"terminal\": %llu, \"lost\": %llu, "
+        "\"rejected_draining\": %llu, \"completed_during_drain\": "
+        "%llu},\n",
+        maxClients, static_cast<unsigned long long>(st.accepted),
+        static_cast<unsigned long long>(st.terminal()),
+        static_cast<unsigned long long>(st.lostJobs()),
+        static_cast<unsigned long long>(st.rejectedDraining),
+        static_cast<unsigned long long>(drainSweep.completed));
+    out += strFormat("  \"total_errors\": %llu\n",
+                     static_cast<unsigned long long>(
+                         [&] {
+                             std::uint64_t e = drainSweep.errors;
+                             for (const SweepResult &r : sweeps)
+                                 e += r.errors;
+                             return e;
+                         }()));
+    out += "}\n";
+
+    FILE *f = std::fopen(jsonPath.c_str(), "w");
+    if (f == nullptr)
+        fatal("cannot write '%s'", jsonPath.c_str());
+    std::fputs(out.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", jsonPath.c_str());
+
+    if (lost) {
+        std::fprintf(stderr,
+                     "serve_load: drain lost accepted jobs\n");
+        return 1;
+    }
+    return 0;
+}

@@ -14,11 +14,20 @@
 # frequency drift and background load hit both twins alike; the ctest
 # entry is RUN_SERIAL for the same reason.
 #
-# Usage: bench_smoke.sh <path-to-fig15_hitrate-binary> [micro_core]
+# With chameleond + chameleonctl binaries as the third and fourth
+# arguments it additionally smoke-tests the serving daemon: start it
+# on an ephemeral port, submit one run per design through the client,
+# snapshot metrics, then SIGTERM it under a drain and require exit 0
+# with zero lost jobs.
+#
+# Usage: bench_smoke.sh <fig15_hitrate> [micro_core]
+#                       [chameleond] [chameleonctl]
 set -eu
 
-BENCH="${1:?usage: bench_smoke.sh <fig15_hitrate binary> [micro_core]}"
+BENCH="${1:?usage: bench_smoke.sh <fig15_hitrate binary> [micro_core] [chameleond] [chameleonctl]}"
 MICRO="${2:-}"
+DAEMON="${3:-}"
+CTL="${4:-}"
 OUT="$(mktemp /tmp/bench_smoke.XXXXXX.txt)"
 JSON="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
 CSV="$(mktemp /tmp/bench_smoke.XXXXXX.csv)"
@@ -124,5 +133,85 @@ if [ -n "$MICRO" ]; then
              "3 attempts" >&2
         exit 1
     fi
+fi
+
+# Serving-daemon stage (needs chameleond + chameleonctl): one run per
+# design through the wire protocol, a metrics scrape, then a SIGTERM
+# drain that must exit 0 having lost no accepted job.
+if [ -n "$DAEMON" ] && [ -n "$CTL" ]; then
+    DLOG="$(mktemp /tmp/bench_smoke.XXXXXX.chameleond.log)"
+
+    "$DAEMON" --quiet --workers 2 \
+        --scale 512 --instr 20000 --refs 1000 > "$DLOG" 2>&1 &
+    DPID=$!
+    trap 'rm -f "$OUT" "$JSON" "$CSV" "$TRACE" \
+            "${TRACE%.json}".cell*.json "$DLOG"; \
+          kill "$DPID" 2>/dev/null || true' EXIT
+
+    # The daemon prints its ephemeral port on the first line.
+    PORT=""
+    for _ in $(seq 1 50); do
+        PORT="$(sed -n \
+            's/^chameleond: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+            "$DLOG")"
+        [ -n "$PORT" ] && break
+        sleep 0.1
+    done
+    [ -n "$PORT" ] || {
+        echo "bench_smoke: chameleond never reported its port" >&2
+        cat "$DLOG" >&2
+        exit 1
+    }
+
+    "$CTL" --port "$PORT" health | grep -q '"state":"serving"' || {
+        echo "bench_smoke: daemon health check failed" >&2
+        exit 1
+    }
+
+    # One run per design; every job must come back ok (no faults
+    # injected, so degraded would be a regression too).
+    for design in flat-ddr numa-flat alloy-cache pom chameleon \
+                  chameleon-opt polymorphic; do
+        "$CTL" --port "$PORT" submit --design "$design" \
+            --app stream --wait 60000 > "$OUT" || {
+            echo "bench_smoke: serve job for $design failed" >&2
+            cat "$OUT" >&2
+            exit 1
+        }
+        grep -q '"state":"ok"' "$OUT" || {
+            echo "bench_smoke: $design job not ok" >&2
+            cat "$OUT" >&2
+            exit 1
+        }
+    done
+
+    # Metrics scrape must show all 7 accepted jobs completed ok.
+    "$CTL" --port "$PORT" metrics > "$OUT"
+    grep -q '"serve_jobs_accepted":7' "$OUT" || {
+        echo "bench_smoke: metrics lost accepted jobs" >&2
+        cat "$OUT" >&2
+        exit 1
+    }
+    grep -q '"serve_jobs_ok":7' "$OUT" || {
+        echo "bench_smoke: metrics lost completed jobs" >&2
+        cat "$OUT" >&2
+        exit 1
+    }
+
+    # SIGTERM: graceful drain, exit 0, zero lost jobs reported.
+    kill -TERM "$DPID"
+    DSTATUS=0
+    wait "$DPID" || DSTATUS=$?
+    [ "$DSTATUS" -eq 0 ] || {
+        echo "bench_smoke: chameleond drain exited $DSTATUS" >&2
+        cat "$DLOG" >&2
+        exit 1
+    }
+    grep -q 'lost=0' "$DLOG" || {
+        echo "bench_smoke: chameleond reported lost jobs" >&2
+        cat "$DLOG" >&2
+        exit 1
+    }
+    rm -f "$DLOG"
 fi
 echo "bench_smoke: OK"

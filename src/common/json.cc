@@ -1,0 +1,99 @@
+#include "common/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace chameleon
+{
+
+void
+jsonAppendEscaped(std::string &out, std::string_view s)
+{
+    for (char c : s) {
+        const auto u = static_cast<unsigned char>(c);
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            continue;
+          case '\\':
+            out += "\\\\";
+            continue;
+          case '\n':
+            out += "\\n";
+            continue;
+          case '\t':
+            out += "\\t";
+            continue;
+          case '\r':
+            out += "\\r";
+            continue;
+          case '\b':
+            out += "\\b";
+            continue;
+          case '\f':
+            out += "\\f";
+            continue;
+          default:
+            break;
+        }
+        if (u < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+}
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    jsonAppendEscaped(out, s);
+    return out;
+}
+
+std::string
+jsonQuote(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    jsonAppendEscaped(out, s);
+    out.push_back('"');
+    return out;
+}
+
+std::string
+roundTripDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    return roundTripDouble(v);
+}
+
+std::string
+jsonNumber(double v, int sigDigits)
+{
+    if (!std::isfinite(v))
+        return "null";
+    if (sigDigits < 1)
+        sigDigits = 1;
+    if (sigDigits > 17)
+        sigDigits = 17;
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.*g", sigDigits, v);
+    return buf;
+}
+
+} // namespace chameleon

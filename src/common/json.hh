@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared JSON emission helpers.
+ *
+ * Every subsystem that writes JSON by hand (sweep --json records,
+ * Timeline / MetricsRegistry series, Chrome trace events, the serve
+ * wire protocol's metrics payloads) used to carry its own copy of
+ * string escaping and double formatting. They live here now so the
+ * escapes stay consistent with what obs/trace_reader.cc can parse
+ * back.
+ *
+ * These are emitters only — parsing stays with the trace reader,
+ * which needs trace-specific structure anyway.
+ */
+
+#ifndef CHAMELEON_COMMON_JSON_HH
+#define CHAMELEON_COMMON_JSON_HH
+
+#include <string>
+#include <string_view>
+
+namespace chameleon
+{
+
+/**
+ * Append @p s to @p out with JSON string-body escaping: quote and
+ * backslash are backslash-escaped, control characters become the
+ * short escapes (\n, \t, \r, \b, \f) or \u00XX. The result is always
+ * a legal JSON string body, whatever bytes sneak into a label.
+ */
+void jsonAppendEscaped(std::string &out, std::string_view s);
+
+/** jsonAppendEscaped into a fresh string. */
+std::string jsonEscape(std::string_view s);
+
+/** @p s escaped and wrapped in double quotes. */
+std::string jsonQuote(std::string_view s);
+
+/**
+ * Shortest %.17g rendering that round-trips an IEEE double exactly
+ * (used by metric series and checkpoint-adjacent outputs where a
+ * re-read must reproduce the bits).
+ */
+std::string roundTripDouble(double v);
+
+/**
+ * @p v as a JSON number token. NaN and infinities have no JSON
+ * spelling, so they are emitted as null — a parseable document beats
+ * a literal "nan" that every strict reader rejects.
+ */
+std::string jsonNumber(double v);
+
+/** As jsonNumber but with @p sigDigits %g significant digits. */
+std::string jsonNumber(double v, int sigDigits);
+
+} // namespace chameleon
+
+#endif // CHAMELEON_COMMON_JSON_HH

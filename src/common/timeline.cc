@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/json.hh"
 #include "common/log.hh"
 
 namespace chameleon
@@ -36,21 +37,18 @@ Timeline::maxValue() const
 std::string
 Timeline::toJson() const
 {
-    std::string out = "{\"name\":\"";
     // Series names are identifiers chosen by the simulator, but keep
     // the output well-formed even if one sneaks in a quote.
-    for (char c : name) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    out += "\",\"points\":[";
+    std::string out = "{\"name\":" + jsonQuote(name);
+    out += ",\"points\":[";
     for (std::size_t i = 0; i < points.size(); ++i) {
         if (i)
             out += ",";
-        out += strFormat("{\"t\":%llu,\"v\":%.17g}",
-                         static_cast<unsigned long long>(points[i].when),
-                         points[i].value);
+        out += strFormat("{\"t\":%llu,\"v\":",
+                         static_cast<unsigned long long>(
+                             points[i].when));
+        out += jsonNumber(points[i].value);
+        out += "}";
     }
     out += "]}";
     return out;

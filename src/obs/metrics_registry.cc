@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/json.hh"
 #include "common/log.hh"
 
 namespace chameleon
@@ -76,7 +77,7 @@ MetricsRegistry::toCsv() const
                     static_cast<unsigned long long>(pts[row].when));
                 first = false;
             }
-            out += strFormat(",%.17g", pts[row].value);
+            out += "," + roundTripDouble(pts[row].value);
         }
         if (first) // no metrics registered: still emit the rows
             out += "0";

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cinttypes>
 
+#include "common/json.hh"
 #include "common/log.hh"
 
 namespace chameleon
@@ -144,18 +145,19 @@ TraceSink::toChromeJson() const
         first = false;
         const double ts = static_cast<double>(ev.when) * usPerCycle;
         if (traceKindIsCounter(ev.kind)) {
-            out += strFormat(
-                "{\"name\":\"%s\",\"cat\":\"counter\",\"ph\":\"C\","
-                "\"ts\":%.3f,\"pid\":0,\"tid\":%zu,"
-                "\"args\":{\"value\":%.6g}}",
-                traceKindName(ev.kind), ts, t.tid,
-                traceDecodeValue(ev.arg0));
+            out += "{\"name\":" + jsonQuote(traceKindName(ev.kind));
+            out += strFormat(",\"cat\":\"counter\",\"ph\":\"C\","
+                             "\"ts\":%.3f,\"pid\":0,\"tid\":%zu,"
+                             "\"args\":{\"value\":",
+                             ts, t.tid);
+            out += jsonNumber(traceDecodeValue(ev.arg0), 6);
+            out += "}}";
             continue;
         }
+        out += "{\"name\":" + jsonQuote(traceKindName(ev.kind));
         out += strFormat(
-            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"g\","
+            ",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"g\","
             "\"ts\":%.3f,\"pid\":0,\"tid\":%zu,\"args\":{",
-            traceKindName(ev.kind),
             traceCategoryName(traceCategoryOf(ev.kind)), ts, t.tid);
         const std::uint64_t args[3] = {ev.arg0, ev.arg1, ev.arg2};
         bool firstArg = true;

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * chameleonctl — command-line client for chameleond.
+ *
+ *   chameleonctl --port N [--host H] [--timeout MS] <command> ...
+ *
+ * Commands:
+ *   submit --design D --app A [--seed N] [--scale N] [--instr N]
+ *          [--refs N] [--faults R] [--fault-stuck F]
+ *          [--fault-spikes R] [--oracle] [--deadline MS] [--wait MS]
+ *       Submit one run. With --wait, block for the result and print
+ *       it as one JSON line; exits 0 for ok/degraded, 3 for
+ *       failed/timeout, 4 when the wait expired non-terminal.
+ *   status <jobid>      Print the job's state.
+ *   result <jobid> [--wait MS]
+ *   metrics             Print the daemon metrics snapshot (JSON).
+ *   health              Print daemon health.
+ *   drain               Ask the daemon to refuse new jobs.
+ *   shutdown            Ask the daemon to drain and exit.
+ *
+ * Exit codes: 0 success, 1 usage, 2 connection/server error,
+ * 3 job failed or timed out, 4 wait expired before a terminal state.
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "serve/client.hh"
+
+namespace
+{
+
+using namespace chameleon;
+using namespace chameleon::serve;
+
+std::uint64_t
+parseUnsigned(const char *flag, const char *raw)
+{
+    if (raw == nullptr)
+        fatal("%s expects a value", flag);
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(raw, &end, 10);
+    if (raw[0] == '-' || end == raw || *end != '\0' || errno == ERANGE)
+        fatal("%s expects a non-negative integer, got '%s'", flag, raw);
+    return v;
+}
+
+double
+parseDouble(const char *flag, const char *raw)
+{
+    if (raw == nullptr)
+        fatal("%s expects a value", flag);
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(raw, &end);
+    if (end == raw || *end != '\0' || errno == ERANGE)
+        fatal("%s expects a number, got '%s'", flag, raw);
+    return v;
+}
+
+/** One JSON line summarizing a result reply. */
+void
+printResult(const JobResultReply &r)
+{
+    std::string out = strFormat(
+        "{\"job\":%llu,\"state\":%s,\"wall_s\":",
+        static_cast<unsigned long long>(r.jobId),
+        jsonQuote(jobStateLabel(r.state)).c_str());
+    out += jsonNumber(r.wallSeconds, 6);
+    if (!r.error.empty())
+        out += ",\"error\":" + jsonQuote(r.error);
+    if (r.state == JobState::Ok || r.state == JobState::Degraded) {
+        out += ",\"ipc\":" + jsonNumber(r.ipc, 6);
+        out += ",\"hit_rate\":" + jsonNumber(r.hitRate, 6);
+        out += ",\"amal\":" + jsonNumber(r.amal, 6);
+        out += strFormat(
+            ",\"instructions\":%llu,\"mem_refs\":%llu"
+            ",\"swaps\":%llu,\"fills\":%llu",
+            static_cast<unsigned long long>(r.instructions),
+            static_cast<unsigned long long>(r.memRefs),
+            static_cast<unsigned long long>(r.swaps),
+            static_cast<unsigned long long>(r.fills));
+        if (r.retiredSegments > 0 || r.eccUncorrectable > 0)
+            out += strFormat(
+                ",\"ecc_uncorrectable\":%llu,\"retired_segments\":%llu",
+                static_cast<unsigned long long>(r.eccUncorrectable),
+                static_cast<unsigned long long>(r.retiredSegments));
+    }
+    out += "}";
+    std::printf("%s\n", out.c_str());
+}
+
+int
+resultExitCode(const JobResultReply &r)
+{
+    if (r.state == JobState::Ok || r.state == JobState::Degraded)
+        return 0;
+    if (jobStateTerminal(r.state))
+        return 3;
+    return 4;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: chameleonctl --port N [--host H] [--timeout MS] "
+        "<submit|status|result|metrics|health|drain|shutdown> ...\n");
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ClientConfig ccfg;
+    int i = 1;
+
+    // Global flags come before the command word.
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char *val = (i + 1 < argc) ? argv[i + 1] : nullptr;
+        if (arg == "--port") {
+            const std::uint64_t v = parseUnsigned("--port", val);
+            if (v == 0 || v > 65535)
+                fatal("--port must be in [1, 65535]");
+            ccfg.port = static_cast<std::uint16_t>(v);
+            ++i;
+        } else if (arg == "--host") {
+            if (val == nullptr)
+                fatal("--host expects a value");
+            ccfg.host = val;
+            ++i;
+        } else if (arg == "--timeout") {
+            ccfg.ioTimeoutMs = static_cast<int>(
+                parseUnsigned("--timeout", val));
+            ++i;
+        } else {
+            break;
+        }
+    }
+
+    if (i >= argc)
+        return usage();
+    if (ccfg.port == 0)
+        fatal("--port is required (chameleond prints its port at "
+              "startup)");
+
+    const std::string cmd = argv[i++];
+    Client client(ccfg);
+
+    try {
+        if (cmd == "submit") {
+            SubmitRunRequest req;
+            std::uint32_t waitMs = 0;
+            for (; i < argc; ++i) {
+                const std::string arg = argv[i];
+                const char *val = (i + 1 < argc) ? argv[i + 1] : nullptr;
+                if (arg == "--design") {
+                    if (val == nullptr)
+                        fatal("--design expects a value");
+                    req.design = val;
+                    ++i;
+                } else if (arg == "--app") {
+                    if (val == nullptr)
+                        fatal("--app expects a value");
+                    req.app = val;
+                    ++i;
+                } else if (arg == "--seed") {
+                    req.seed = parseUnsigned("--seed", val);
+                    ++i;
+                } else if (arg == "--scale") {
+                    req.scale = parseUnsigned("--scale", val);
+                    ++i;
+                } else if (arg == "--instr") {
+                    req.instrPerCore = parseUnsigned("--instr", val);
+                    ++i;
+                } else if (arg == "--refs") {
+                    req.minRefsPerCore = parseUnsigned("--refs", val);
+                    ++i;
+                } else if (arg == "--faults") {
+                    req.faultRate = parseDouble("--faults", val);
+                    ++i;
+                } else if (arg == "--fault-stuck") {
+                    req.faultStuck = parseDouble("--fault-stuck", val);
+                    ++i;
+                } else if (arg == "--fault-spikes") {
+                    req.faultSpikes = parseDouble("--fault-spikes", val);
+                    ++i;
+                } else if (arg == "--oracle") {
+                    req.oracle = true;
+                } else if (arg == "--deadline") {
+                    req.deadlineMs = static_cast<std::uint32_t>(
+                        parseUnsigned("--deadline", val));
+                    ++i;
+                } else if (arg == "--wait") {
+                    waitMs = static_cast<std::uint32_t>(
+                        parseUnsigned("--wait", val));
+                    ++i;
+                } else {
+                    fatal("submit: unknown flag '%s'", arg.c_str());
+                }
+            }
+            if (req.design.empty() || req.app.empty())
+                fatal("submit requires --design and --app");
+
+            const SubmitRunReply sub = client.submitRun(req);
+            if (waitMs == 0) {
+                std::printf("{\"job\":%llu,\"queue_depth\":%u}\n",
+                            static_cast<unsigned long long>(sub.jobId),
+                            unsigned(sub.queueDepth));
+                return 0;
+            }
+            const JobResultReply r = client.result(sub.jobId, waitMs);
+            printResult(r);
+            return resultExitCode(r);
+        }
+
+        if (cmd == "status") {
+            if (i >= argc)
+                fatal("status requires a job id");
+            const std::uint64_t id = parseUnsigned("status", argv[i]);
+            const JobStatusReply s = client.status(id);
+            std::printf("{\"job\":%llu,\"state\":%s,\"wall_s\":%s}\n",
+                        static_cast<unsigned long long>(s.jobId),
+                        jsonQuote(jobStateLabel(s.state)).c_str(),
+                        jsonNumber(s.wallSeconds, 6).c_str());
+            return 0;
+        }
+
+        if (cmd == "result") {
+            if (i >= argc)
+                fatal("result requires a job id");
+            const std::uint64_t id = parseUnsigned("result", argv[i++]);
+            std::uint32_t waitMs = 0;
+            if (i < argc && std::string(argv[i]) == "--wait") {
+                waitMs = static_cast<std::uint32_t>(parseUnsigned(
+                    "--wait", (i + 1 < argc) ? argv[i + 1] : nullptr));
+                i += 2;
+            }
+            const JobResultReply r = client.result(id, waitMs);
+            printResult(r);
+            return resultExitCode(r);
+        }
+
+        if (cmd == "metrics") {
+            std::printf("%s\n", client.metricsJson().c_str());
+            return 0;
+        }
+
+        if (cmd == "health") {
+            const HealthReply h = client.health();
+            static const char *kStates[] = {"serving", "draining",
+                                            "stopped"};
+            const char *state =
+                h.state < 3 ? kStates[h.state] : "unknown";
+            std::printf(
+                "{\"state\":\"%s\",\"uptime_ms\":%llu,\"queued\":%u,"
+                "\"running\":%u,\"accepted\":%llu,\"completed\":%llu}\n",
+                state, static_cast<unsigned long long>(h.uptimeMs),
+                unsigned(h.queuedJobs), unsigned(h.runningJobs),
+                static_cast<unsigned long long>(h.acceptedJobs),
+                static_cast<unsigned long long>(h.completedJobs));
+            return 0;
+        }
+
+        if (cmd == "drain") {
+            const DrainReply d = client.drain();
+            std::printf("{\"remaining_jobs\":%u}\n",
+                        unsigned(d.remainingJobs));
+            return 0;
+        }
+
+        if (cmd == "shutdown") {
+            client.shutdown();
+            std::printf("{\"shutdown\":true}\n");
+            return 0;
+        }
+    } catch (const ServeError &ex) {
+        std::fprintf(stderr, "chameleonctl: %s\n", ex.what());
+        return 2;
+    }
+
+    std::fprintf(stderr, "chameleonctl: unknown command '%s'\n",
+                 cmd.c_str());
+    return usage();
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * chameleond — the simulation-serving daemon. Binds a loopback TCP
+ * port (ephemeral by default), serves the serve/protocol.hh wire
+ * protocol with a bounded job queue and a simulator worker pool, and
+ * drains gracefully: SIGTERM (or a client Shutdown frame) refuses new
+ * submissions, finishes every accepted job, and exits 0 if and only
+ * if no accepted job was lost.
+ *
+ *   chameleond [--port N] [--workers N] [--queue N] [--deadline MS]
+ *              [--scale N] [--instr N] [--refs N] [--quiet]
+ *
+ * The one line the tooling depends on (bench_smoke.sh and the serve
+ * load generator parse it to discover an ephemeral port):
+ *
+ *   chameleond: listening on 127.0.0.1:<port>
+ */
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "common/log.hh"
+#include "serve/server.hh"
+
+namespace
+{
+
+volatile std::sig_atomic_t gSignalled = 0;
+
+void
+onSignal(int)
+{
+    gSignalled = 1;
+}
+
+/** Strict full-token unsigned parse; fatal on anything else. */
+std::uint64_t
+parseUnsigned(const char *flag, const char *raw)
+{
+    if (raw == nullptr)
+        chameleon::fatal("%s expects a value", flag);
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(raw, &end, 10);
+    if (raw[0] == '-' || end == raw || *end != '\0' || errno == ERANGE)
+        chameleon::fatal("%s expects a non-negative integer, got '%s'",
+                         flag, raw);
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace chameleon;
+    using namespace chameleon::serve;
+
+    ServerConfig cfg;
+    // Serving defaults favour responsiveness over fidelity: small
+    // fast jobs unless the client asks for more.
+    cfg.bench.scale = 256;
+    cfg.bench.instrPerCore = 50'000;
+    cfg.bench.minRefsPerCore = 2'000;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char *val = (i + 1 < argc) ? argv[i + 1] : nullptr;
+        if (arg == "--port") {
+            const std::uint64_t v = parseUnsigned("--port", val);
+            if (v > 65535)
+                fatal("--port must be <= 65535, got %llu",
+                      static_cast<unsigned long long>(v));
+            cfg.port = static_cast<std::uint16_t>(v);
+            ++i;
+        } else if (arg == "--workers") {
+            const std::uint64_t v = parseUnsigned("--workers", val);
+            if (v == 0 || v > 256)
+                fatal("--workers must be in [1, 256]");
+            cfg.workers = static_cast<unsigned>(v);
+            ++i;
+        } else if (arg == "--queue") {
+            const std::uint64_t v = parseUnsigned("--queue", val);
+            if (v == 0)
+                fatal("--queue must be at least 1");
+            cfg.queueCapacity = v;
+            ++i;
+        } else if (arg == "--deadline") {
+            cfg.defaultDeadlineMs = static_cast<std::uint32_t>(
+                parseUnsigned("--deadline", val));
+            ++i;
+        } else if (arg == "--scale") {
+            const std::uint64_t v = parseUnsigned("--scale", val);
+            if (v == 0)
+                fatal("--scale must be at least 1");
+            cfg.bench.scale = v;
+            ++i;
+        } else if (arg == "--instr") {
+            cfg.bench.instrPerCore = parseUnsigned("--instr", val);
+            ++i;
+        } else if (arg == "--refs") {
+            cfg.bench.minRefsPerCore = parseUnsigned("--refs", val);
+            ++i;
+        } else if (arg == "--quiet") {
+            setQuiet(true);
+        } else {
+            fatal("unknown flag '%s' (see src/serve/chameleond.cc)",
+                  arg.c_str());
+        }
+    }
+
+    // SIGTERM/SIGINT start a graceful drain, not an abort: the
+    // handler only raises a flag the main loop polls.
+    struct sigaction sa{};
+    sa.sa_handler = onSignal;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    Server server(std::move(cfg));
+    try {
+        server.start();
+    } catch (const std::exception &ex) {
+        std::fprintf(stderr, "chameleond: start failed: %s\n",
+                     ex.what());
+        return 2;
+    }
+
+    std::printf("chameleond: listening on 127.0.0.1:%u\n",
+                unsigned(server.port()));
+    std::fflush(stdout);
+
+    while (gSignalled == 0 && !server.shutdownRequested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    const char *why = gSignalled ? "signal" : "shutdown request";
+    std::fprintf(stderr, "chameleond: draining (%s)\n", why);
+    server.requestDrain();
+    server.awaitDrained();
+    server.stop();
+
+    const ServerStats st = server.stats();
+    std::fprintf(stderr,
+                 "chameleond: drained — accepted=%llu ok=%llu "
+                 "degraded=%llu failed=%llu timeout=%llu lost=%llu\n",
+                 static_cast<unsigned long long>(st.accepted),
+                 static_cast<unsigned long long>(st.completedOk),
+                 static_cast<unsigned long long>(st.completedDegraded),
+                 static_cast<unsigned long long>(st.failed),
+                 static_cast<unsigned long long>(st.timedOut),
+                 static_cast<unsigned long long>(st.lostJobs()));
+    return st.lostJobs() == 0 ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tiny POSIX socket helpers shared by the serve server and client.
+ * Loopback TCP only — chameleond binds 127.0.0.1 and nothing here
+ * needs to be portable beyond that.
+ */
+
+#ifndef CHAMELEON_SERVE_NET_UTIL_HH
+#define CHAMELEON_SERVE_NET_UTIL_HH
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace chameleon::serve
+{
+
+/** write() the whole buffer; false on any error or closed peer. */
+inline bool
+sendAll(int fd, const std::uint8_t *data, std::size_t size)
+{
+    std::size_t sent = 0;
+    while (sent < size) {
+        const ssize_t n = ::send(fd, data + sent, size - sent,
+#ifdef MSG_NOSIGNAL
+                                 MSG_NOSIGNAL
+#else
+                                 0
+#endif
+        );
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Disable Nagle: every frame is a complete request or reply. */
+inline void
+setNoDelay(int fd)
+{
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/** Apply one timeout to both send and receive directions. */
+inline void
+setIoTimeout(int fd, int timeout_ms)
+{
+    if (timeout_ms <= 0)
+        return;
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+} // namespace chameleon::serve
+
+#endif // CHAMELEON_SERVE_NET_UTIL_HH

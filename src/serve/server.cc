@@ -1,0 +1,812 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "serve/net_util.hh"
+#include "workloads/profile.hh"
+
+namespace chameleon::serve
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0, Clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+std::vector<std::uint8_t>
+errorFrame(ErrCode code, std::string message)
+{
+    ErrorReply err;
+    err.code = code;
+    err.message = std::move(message);
+    return encodeFrame(MsgType::Error, encodeError(err));
+}
+
+/** Terminal jobs older than this many newer jobs are evicted. */
+constexpr std::size_t kMaxRetainedJobs = 8192;
+
+} // namespace
+
+Server::Server(ServerConfig config) : cfg(std::move(config))
+{
+    if (cfg.workers == 0)
+        cfg.workers = 1;
+    if (cfg.queueCapacity == 0)
+        cfg.queueCapacity = 1;
+    registerMetrics();
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::start()
+{
+    if (listenFd >= 0)
+        throw std::runtime_error("serve: server already started");
+
+    listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        throw std::runtime_error("serve: socket() failed");
+    int one = 1;
+    ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(cfg.port);
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        ::close(listenFd);
+        listenFd = -1;
+        throw std::runtime_error(
+            strFormat("serve: cannot bind 127.0.0.1:%u: %s",
+                      static_cast<unsigned>(cfg.port),
+                      std::strerror(errno)));
+    }
+    if (::listen(listenFd, 128) != 0) {
+        ::close(listenFd);
+        listenFd = -1;
+        throw std::runtime_error("serve: listen() failed");
+    }
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0) {
+        ::close(listenFd);
+        listenFd = -1;
+        throw std::runtime_error("serve: getsockname() failed");
+    }
+    boundPort = ntohs(addr.sin_port);
+
+    if (::pipe(wakePipe) != 0) {
+        ::close(listenFd);
+        listenFd = -1;
+        throw std::runtime_error("serve: pipe() failed");
+    }
+
+    startedAt = Clock::now();
+    stopFlag.store(false, std::memory_order_release);
+    stateFlag.store(ServerStateKind::Serving,
+                    std::memory_order_release);
+    acceptThread = std::thread([this] { acceptLoop(); });
+    for (unsigned i = 0; i < cfg.workers; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+void
+Server::requestDrain()
+{
+    ServerStateKind expect = ServerStateKind::Serving;
+    stateFlag.compare_exchange_strong(expect,
+                                      ServerStateKind::Draining);
+    cvJobs.notify_all();
+}
+
+bool
+Server::drained() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return counters.lostJobs() == 0;
+}
+
+void
+Server::awaitDrained()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    cvJobs.wait(lock, [this] {
+        return counters.lostJobs() == 0 ||
+               stopFlag.load(std::memory_order_acquire);
+    });
+}
+
+void
+Server::stop()
+{
+    if (listenFd < 0 && workers.empty())
+        return;
+    stopFlag.store(true, std::memory_order_release);
+    stateFlag.store(ServerStateKind::Stopped,
+                    std::memory_order_release);
+    if (wakePipe[1] >= 0) {
+        const char byte = 'x';
+        [[maybe_unused]] ssize_t n = ::write(wakePipe[1], &byte, 1);
+    }
+    cvWork.notify_all();
+    cvJobs.notify_all();
+
+    if (acceptThread.joinable())
+        acceptThread.join();
+
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        for (int fd : connectionFds)
+            if (fd >= 0)
+                ::shutdown(fd, SHUT_RDWR);
+    }
+    for (std::thread &t : connections)
+        if (t.joinable())
+            t.join();
+    for (std::thread &t : workers)
+        if (t.joinable())
+            t.join();
+    connections.clear();
+    workers.clear();
+
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+    }
+    for (int &fd : wakePipe) {
+        if (fd >= 0)
+            ::close(fd);
+        fd = -1;
+    }
+}
+
+ServerStats
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return counters;
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stopFlag.load(std::memory_order_acquire)) {
+        pollfd fds[2];
+        fds[0] = {listenFd, POLLIN, 0};
+        fds[1] = {wakePipe[0], POLLIN, 0};
+        const int rc = ::poll(fds, 2, 100);
+        reapOverdueJobs();
+        if (rc <= 0)
+            continue;
+        if (!(fds[0].revents & POLLIN))
+            continue;
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        setNoDelay(fd);
+        std::lock_guard<std::mutex> lock(mtx);
+        ++counters.connections;
+        connectionFds.push_back(fd);
+        connections.emplace_back(
+            [this, fd] { connectionLoop(fd); });
+    }
+}
+
+void
+Server::connectionLoop(int fd)
+{
+    std::vector<std::uint8_t> buf;
+    std::uint8_t chunk[16384];
+
+    auto bump_bad_frames = [this] {
+        std::lock_guard<std::mutex> lock(mtx);
+        ++counters.badFrames;
+    };
+
+    bool open = true;
+    while (open && !stopFlag.load(std::memory_order_acquire)) {
+        pollfd pfd{fd, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, 200);
+        if (rc <= 0)
+            continue;
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0)
+            break;
+        buf.insert(buf.end(), chunk, chunk + n);
+
+        // Drain every complete frame in the buffer; a malformed
+        // stream gets one typed error reply, never a crash or a
+        // dropped connection without explanation.
+        std::size_t off = 0;
+        while (open) {
+            Frame frame;
+            std::size_t consumed = 0;
+            const FrameStatus st = decodeFrame(
+                buf.data() + off, buf.size() - off, frame, consumed);
+            if (st == FrameStatus::NeedMore)
+                break;
+            if (st == FrameStatus::BadMagic) {
+                bump_bad_frames();
+                const auto reply = errorFrame(
+                    ErrCode::Malformed,
+                    "bad frame magic; not a chameleond stream");
+                sendAll(fd, reply.data(), reply.size());
+                open = false;
+                break;
+            }
+            if (st == FrameStatus::BadVersion) {
+                bump_bad_frames();
+                const auto reply = errorFrame(
+                    ErrCode::BadVersion,
+                    strFormat("unsupported protocol version; "
+                              "server speaks v%u",
+                              kProtocolVersion));
+                sendAll(fd, reply.data(), reply.size());
+                open = false;
+                break;
+            }
+            if (st == FrameStatus::Oversized) {
+                bump_bad_frames();
+                const auto reply = errorFrame(
+                    ErrCode::Oversized,
+                    strFormat("payload exceeds %u bytes",
+                              kMaxPayloadBytes));
+                sendAll(fd, reply.data(), reply.size());
+                open = false;
+                break;
+            }
+            off += consumed;
+            {
+                std::lock_guard<std::mutex> lock(mtx);
+                ++counters.framesRx;
+            }
+            const std::vector<std::uint8_t> reply =
+                handleFrame(frame);
+            if (!sendAll(fd, reply.data(), reply.size())) {
+                open = false;
+                break;
+            }
+        }
+        if (off > 0)
+            buf.erase(buf.begin(),
+                      buf.begin() + static_cast<std::ptrdiff_t>(off));
+    }
+    ::close(fd);
+    std::lock_guard<std::mutex> lock(mtx);
+    for (int &cfd : connectionFds)
+        if (cfd == fd)
+            cfd = -1;
+}
+
+std::vector<std::uint8_t>
+Server::handleFrame(const Frame &frame)
+{
+    switch (frame.type) {
+      case MsgType::SubmitRun:
+        return handleSubmit(frame);
+      case MsgType::JobStatus:
+        return handleStatus(frame);
+      case MsgType::JobResult:
+        return handleResult(frame);
+      case MsgType::MetricsSnapshot:
+        return handleMetrics();
+      case MsgType::Health:
+        return handleHealth();
+      case MsgType::Drain:
+        return handleDrain();
+      case MsgType::Shutdown:
+        return handleShutdown();
+      default:
+        break;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        ++counters.badFrames;
+    }
+    return errorFrame(ErrCode::UnknownType,
+                      strFormat("unknown message type %u",
+                                static_cast<unsigned>(frame.type)));
+}
+
+std::string
+Server::validateRequest(const SubmitRunRequest &req) const
+{
+    if (!designFromLabel(req.design))
+        return strFormat("unknown design '%s'", req.design.c_str());
+    bool app_known = false;
+    for (const AppProfile &p : tableTwoSuite(1))
+        if (p.name == req.app) {
+            app_known = true;
+            break;
+        }
+    if (!app_known)
+        return strFormat("unknown app profile '%s'",
+                         req.app.c_str());
+    if (req.scale == 0 || req.scale > (1u << 20))
+        return "scale must lie in [1, 2^20]";
+    if (req.instrPerCore == 0 && req.minRefsPerCore == 0)
+        return "instr 0 with refs 0 leaves nothing to run";
+    if (req.instrPerCore > 1'000'000'000'000ull ||
+        req.minRefsPerCore > 1'000'000'000'000ull)
+        return "instruction/reference budget is not plausible";
+    for (double rate : {req.faultRate, req.faultStuck,
+                        req.faultSpikes})
+        if (!(rate >= 0.0 && rate <= 1.0))
+            return "fault rates must lie in [0, 1]";
+    if (req.deadlineMs > 3'600'000)
+        return "deadline exceeds one hour";
+    return "";
+}
+
+std::vector<std::uint8_t>
+Server::handleSubmit(const Frame &frame)
+{
+    SubmitRunRequest req;
+    if (!decodeSubmitRun(frame.payload, req)) {
+        std::lock_guard<std::mutex> lock(mtx);
+        ++counters.badFrames;
+        return errorFrame(ErrCode::Malformed,
+                          "SubmitRun payload failed to decode");
+    }
+    if (state() != ServerStateKind::Serving) {
+        std::lock_guard<std::mutex> lock(mtx);
+        ++counters.rejectedDraining;
+        return errorFrame(ErrCode::Draining,
+                          "daemon is draining; not accepting jobs");
+    }
+    const std::string problem = validateRequest(req);
+    if (!problem.empty()) {
+        std::lock_guard<std::mutex> lock(mtx);
+        ++counters.rejectedInvalid;
+        return errorFrame(ErrCode::BadRequest, problem);
+    }
+
+    SubmitRunReply reply;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (pending.size() >= cfg.queueCapacity) {
+            ++counters.rejectedBusy;
+            return errorFrame(
+                ErrCode::Busy,
+                strFormat("job queue full (%zu pending); retry",
+                          pending.size()));
+        }
+        // Keep the job table bounded: evict the oldest terminal
+        // jobs once the retention cap is reached (their results
+        // have had ample time to be collected).
+        if (jobs.size() >= kMaxRetainedJobs) {
+            for (auto it = jobs.begin();
+                 it != jobs.end() &&
+                 jobs.size() >= kMaxRetainedJobs;) {
+                if (jobStateTerminal(it->second.state))
+                    it = jobs.erase(it);
+                else
+                    ++it;
+            }
+        }
+        Job job;
+        job.id = nextJobId++;
+        job.req = req;
+        job.deadlineMs = req.deadlineMs ? req.deadlineMs
+                                        : cfg.defaultDeadlineMs;
+        job.acceptedAt = Clock::now();
+        reply.jobId = job.id;
+        reply.queueDepth = static_cast<std::uint32_t>(pending.size());
+        pending.push_back(job.id);
+        jobs.emplace(job.id, std::move(job));
+        ++counters.accepted;
+    }
+    cvWork.notify_one();
+    return encodeFrame(MsgType::SubmitReply,
+                       encodeSubmitReply(reply));
+}
+
+std::vector<std::uint8_t>
+Server::handleStatus(const Frame &frame)
+{
+    JobStatusRequest req;
+    if (!decodeJobStatus(frame.payload, req)) {
+        std::lock_guard<std::mutex> lock(mtx);
+        ++counters.badFrames;
+        return errorFrame(ErrCode::Malformed,
+                          "JobStatus payload failed to decode");
+    }
+    std::lock_guard<std::mutex> lock(mtx);
+    const auto it = jobs.find(req.jobId);
+    if (it == jobs.end())
+        return errorFrame(ErrCode::UnknownJob,
+                          strFormat("no job %llu",
+                                    static_cast<unsigned long long>(
+                                        req.jobId)));
+    const Job &job = it->second;
+    JobStatusReply reply;
+    reply.jobId = job.id;
+    reply.state = job.state;
+    reply.wallSeconds =
+        jobStateTerminal(job.state)
+            ? job.wallSeconds
+            : secondsSince(job.acceptedAt, Clock::now());
+    return encodeFrame(MsgType::JobStatusReply,
+                       encodeJobStatusReply(reply));
+}
+
+JobResultReply
+Server::buildResultReply(const Job &job) const
+{
+    JobResultReply reply;
+    reply.jobId = job.id;
+    reply.state = job.state;
+    reply.error = job.error;
+    reply.wallSeconds =
+        jobStateTerminal(job.state)
+            ? job.wallSeconds
+            : secondsSince(job.acceptedAt, Clock::now());
+    fillResultReply(reply, job.result);
+    return reply;
+}
+
+std::vector<std::uint8_t>
+Server::handleResult(const Frame &frame)
+{
+    JobResultRequest req;
+    if (!decodeJobResult(frame.payload, req)) {
+        std::lock_guard<std::mutex> lock(mtx);
+        ++counters.badFrames;
+        return errorFrame(ErrCode::Malformed,
+                          "JobResult payload failed to decode");
+    }
+    std::unique_lock<std::mutex> lock(mtx);
+    auto it = jobs.find(req.jobId);
+    if (it == jobs.end())
+        return errorFrame(ErrCode::UnknownJob,
+                          strFormat("no job %llu",
+                                    static_cast<unsigned long long>(
+                                        req.jobId)));
+    const std::uint32_t wait_ms =
+        std::min(req.waitMs, cfg.maxResultWaitMs);
+    if (wait_ms > 0 && !jobStateTerminal(it->second.state)) {
+        // Parks only this connection's thread; workers and other
+        // clients continue. Re-find after the wait: the job table
+        // may have rebalanced (never erased while non-terminal).
+        cvJobs.wait_for(
+            lock, std::chrono::milliseconds(wait_ms), [&] {
+                const auto jt = jobs.find(req.jobId);
+                return jt == jobs.end() ||
+                       jobStateTerminal(jt->second.state) ||
+                       stopFlag.load(std::memory_order_acquire);
+            });
+        it = jobs.find(req.jobId);
+        if (it == jobs.end())
+            return errorFrame(
+                ErrCode::UnknownJob,
+                strFormat("no job %llu",
+                          static_cast<unsigned long long>(
+                              req.jobId)));
+    }
+    const JobResultReply reply = buildResultReply(it->second);
+    return encodeFrame(MsgType::JobResultReply,
+                       encodeJobResultReply(reply));
+}
+
+std::vector<std::uint8_t>
+Server::handleMetrics()
+{
+    MetricsReply reply;
+    reply.json = metricsJson();
+    return encodeFrame(MsgType::MetricsReply,
+                       encodeMetricsReply(reply));
+}
+
+std::vector<std::uint8_t>
+Server::handleHealth()
+{
+    HealthReply reply;
+    reply.state = static_cast<std::uint8_t>(state());
+    reply.uptimeMs = static_cast<std::uint64_t>(
+        secondsSince(startedAt, Clock::now()) * 1000.0);
+    std::lock_guard<std::mutex> lock(mtx);
+    reply.queuedJobs = static_cast<std::uint32_t>(pending.size());
+    reply.runningJobs = runningJobs;
+    reply.acceptedJobs = counters.accepted;
+    reply.completedJobs = counters.terminal();
+    return encodeFrame(MsgType::HealthReply,
+                       encodeHealthReply(reply));
+}
+
+std::vector<std::uint8_t>
+Server::handleDrain()
+{
+    requestDrain();
+    DrainReply reply;
+    std::lock_guard<std::mutex> lock(mtx);
+    reply.remainingJobs = static_cast<std::uint32_t>(
+        pending.size() + runningJobs);
+    return encodeFrame(MsgType::DrainReply, encodeDrainReply(reply));
+}
+
+std::vector<std::uint8_t>
+Server::handleShutdown()
+{
+    requestDrain();
+    shutdownFlag.store(true, std::memory_order_release);
+    cvJobs.notify_all();
+    return encodeFrame(MsgType::ShutdownReply, {});
+}
+
+RunResult
+Server::executeJob(const SubmitRunRequest &req)
+{
+    BenchOptions opts = cfg.bench;
+    opts.seed = req.seed;
+    opts.scale = req.scale;
+    opts.instrPerCore = req.instrPerCore;
+    opts.minRefsPerCore = req.minRefsPerCore;
+    opts.faultRate = req.faultRate;
+    opts.faultStuck = req.faultStuck;
+    opts.faultSpikes = req.faultSpikes;
+    opts.oracle = req.oracle;
+    // Each job is one cell on one worker thread; batch-only outputs
+    // stay off in the daemon.
+    opts.jobs = 1;
+    opts.jsonPath.clear();
+    opts.checkpointPath.clear();
+    opts.tracePath.clear();
+    opts.metricsPath.clear();
+
+    const std::optional<Design> design = designFromLabel(req.design);
+    if (!design) // validated at admission; belt and braces
+        throw std::runtime_error("unknown design " + req.design);
+    const std::vector<AppProfile> suite = tableTwoSuite(opts.scale);
+    const AppProfile *profile = nullptr;
+    for (const AppProfile &p : suite)
+        if (p.name == req.app) {
+            profile = &p;
+            break;
+        }
+    if (!profile)
+        throw std::runtime_error("unknown app " + req.app);
+    return runRateWorkload(*design, *profile, opts);
+}
+
+void
+Server::finalizeJob(Job &job, JobState state, RunResult result,
+                    std::string error, double wall_seconds)
+{
+    // Caller holds mtx. Fault-degraded completions are a first-class
+    // terminal state: the run finished and its statistics are valid,
+    // but capacity was retired or uncorrectable ECC fired.
+    if (state == JobState::Ok &&
+        (result.eccUncorrectable > 0 || result.retiredSegments > 0 ||
+         result.degradedCycles > 0))
+        state = JobState::Degraded;
+    job.state = state;
+    job.result = std::move(result);
+    job.error = std::move(error);
+    job.wallSeconds = wall_seconds;
+    switch (state) {
+      case JobState::Ok:
+        ++counters.completedOk;
+        break;
+      case JobState::Degraded:
+        ++counters.completedDegraded;
+        break;
+      case JobState::Failed:
+        ++counters.failed;
+        break;
+      case JobState::TimedOut:
+        ++counters.timedOut;
+        break;
+      default:
+        panic("serve: finalizeJob with non-terminal state");
+    }
+}
+
+void
+Server::workerLoop()
+{
+    while (true) {
+        std::uint64_t id = 0;
+        SubmitRunRequest req;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cvWork.wait(lock, [this] {
+                return stopFlag.load(std::memory_order_acquire) ||
+                       !pending.empty();
+            });
+            if (pending.empty()) {
+                if (stopFlag.load(std::memory_order_acquire))
+                    return;
+                continue;
+            }
+            id = pending.front();
+            pending.pop_front();
+            const auto it = jobs.find(id);
+            if (it == jobs.end() ||
+                it->second.state != JobState::Queued)
+                continue; // reaped while queued
+            it->second.state = JobState::Running;
+            it->second.startedAt = Clock::now();
+            ++runningJobs;
+            req = it->second.req;
+        }
+
+        RunResult result;
+        std::string error;
+        const auto t0 = Clock::now();
+        try {
+            result = cfg.runner ? cfg.runner(req) : executeJob(req);
+        } catch (const std::exception &e) {
+            error = e.what();
+        } catch (...) {
+            error = "unknown exception";
+        }
+        const double wall = secondsSince(t0, Clock::now());
+
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            --runningJobs;
+            const auto it = jobs.find(id);
+            // Decide the state before the call: std::move(error)
+            // empties the string when the parameter is constructed,
+            // and argument evaluation order is unspecified.
+            const JobState outcome =
+                error.empty() ? JobState::Ok : JobState::Failed;
+            if (it != jobs.end() &&
+                it->second.state == JobState::Running) {
+                finalizeJob(it->second, outcome, std::move(result),
+                            std::move(error), wall);
+            }
+            // else: the reaper already finalized this job as
+            // TimedOut; the late result is discarded (PR 3
+            // abandonment discipline).
+        }
+        cvJobs.notify_all();
+    }
+}
+
+void
+Server::reapOverdueJobs()
+{
+    bool changed = false;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        const auto now = Clock::now();
+        for (auto &[id, job] : jobs) {
+            if (jobStateTerminal(job.state) || job.deadlineMs == 0)
+                continue;
+            const double elapsed_ms =
+                secondsSince(job.acceptedAt, now) * 1000.0;
+            if (elapsed_ms <= static_cast<double>(job.deadlineMs))
+                continue;
+            const bool was_running = job.state == JobState::Running;
+            finalizeJob(job, JobState::TimedOut, RunResult{},
+                        strFormat("deadline %u ms exceeded",
+                                  job.deadlineMs),
+                        elapsed_ms / 1000.0);
+            changed = true;
+            if (was_running) {
+                // The stuck worker cannot be killed; a replacement
+                // keeps the pool at full strength and the eventual
+                // late result is discarded on arrival.
+                workers.emplace_back([this] { workerLoop(); });
+                warn("serve: job %llu exceeded its %u ms deadline; "
+                     "abandoned (replacement worker started)",
+                     static_cast<unsigned long long>(id),
+                     job.deadlineMs);
+            }
+        }
+    }
+    if (changed)
+        cvJobs.notify_all();
+}
+
+void
+Server::registerMetrics()
+{
+    // The registry reads whatever the shadow copy held at the last
+    // metricsJson() refresh; getters stay trivially thread-safe.
+    static const char *const names[] = {
+        "serve_jobs_accepted",      "serve_jobs_rejected_busy",
+        "serve_jobs_rejected_drain", "serve_jobs_rejected_invalid",
+        "serve_jobs_ok",            "serve_jobs_degraded",
+        "serve_jobs_failed",        "serve_jobs_timeout",
+        "serve_connections",        "serve_frames_rx",
+        "serve_frames_bad",         "serve_queue_depth",
+        "serve_running_jobs",       "serve_draining",
+    };
+    metricShadow.assign(std::size(names), 0.0);
+    for (std::size_t i = 0; i < std::size(names); ++i) {
+        const double *cell = &metricShadow[i];
+        const bool gauge = i >= 11;
+        registry.registerMetric(
+            names[i],
+            gauge ? MetricKind::Gauge : MetricKind::Counter,
+            [cell] { return *cell; });
+    }
+}
+
+std::string
+Server::metricsJson()
+{
+    ServerStats s;
+    std::size_t queue_depth;
+    unsigned running;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        s = counters;
+        queue_depth = pending.size();
+        running = runningJobs;
+    }
+    const auto uptime_ms = static_cast<std::uint64_t>(
+        secondsSince(startedAt, Clock::now()) * 1000.0);
+
+    std::lock_guard<std::mutex> lock(metricsMtx);
+    metricShadow = {
+        static_cast<double>(s.accepted),
+        static_cast<double>(s.rejectedBusy),
+        static_cast<double>(s.rejectedDraining),
+        static_cast<double>(s.rejectedInvalid),
+        static_cast<double>(s.completedOk),
+        static_cast<double>(s.completedDegraded),
+        static_cast<double>(s.failed),
+        static_cast<double>(s.timedOut),
+        static_cast<double>(s.connections),
+        static_cast<double>(s.framesRx),
+        static_cast<double>(s.badFrames),
+        static_cast<double>(queue_depth),
+        static_cast<double>(running),
+        state() == ServerStateKind::Draining ? 1.0 : 0.0,
+    };
+    // Each snapshot request extends the registry's time series, so a
+    // scraping client builds the same Timeline history a --metrics
+    // bench run would.
+    registry.snapshot(static_cast<Cycle>(uptime_ms));
+
+    std::string out = "{\"state\":";
+    out += jsonQuote(state() == ServerStateKind::Serving ? "serving"
+                     : state() == ServerStateKind::Draining
+                         ? "draining"
+                         : "stopped");
+    out += strFormat(",\"uptime_ms\":%llu,\"snapshots\":%zu,"
+                     "\"metrics\":{",
+                     static_cast<unsigned long long>(uptime_ms),
+                     registry.snapshots());
+    bool first = true;
+    for (const Metric &m : registry.metrics()) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += jsonQuote(m.name);
+        out += ":";
+        out += jsonNumber(m.getter());
+    }
+    out += "}}";
+    return out;
+}
+
+} // namespace chameleon::serve

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * chameleond's serving core: a multi-threaded TCP server that keeps a
+ * warm simulator fleet behind the wire protocol of
+ * serve/protocol.hh.
+ *
+ * Threading model:
+ *  - one accept thread (poll() with a short tick so stop/drain flags
+ *    are observed promptly);
+ *  - one connection thread per client, framing and dispatching
+ *    requests (a blocking JobResult wait parks only its own
+ *    connection thread);
+ *  - a worker pool executing queued jobs, one System per job, exactly
+ *    like SweepRunner cells (jobs are independent, nothing is shared
+ *    but the log mutex);
+ *  - a reaper tick enforcing per-job deadlines with the PR 3
+ *    abandonment discipline: an overdue job is finalized as TimedOut,
+ *    a replacement worker keeps the pool at full strength, and the
+ *    stuck thread's eventual result is discarded.
+ *
+ * Admission control is a bounded pending queue: when it is full,
+ * SubmitRun is answered with Error{Busy} immediately — the daemon
+ * never queues unboundedly and never stalls the accept loop on
+ * simulator work.
+ *
+ * Graceful drain (SIGTERM in chameleond, or a Drain/Shutdown frame):
+ * new submissions are refused with Error{Draining}, every accepted
+ * job still runs to a terminal state, and status/result/metrics
+ * queries keep working so clients can collect what they are owed.
+ * stats().lostJobs() is the invariant the smoke test asserts: zero
+ * accepted-but-unresolved jobs after a drain.
+ *
+ * Fault-injected runs that retire segments or see uncorrectable ECC
+ * finish as JobState::Degraded — a first-class result carrying full
+ * statistics, not a dropped connection.
+ */
+
+#ifndef CHAMELEON_SERVE_SERVER_HH
+#define CHAMELEON_SERVE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics_registry.hh"
+#include "serve/protocol.hh"
+#include "sim/experiment.hh"
+
+namespace chameleon::serve
+{
+
+struct ServerConfig
+{
+    /** TCP port on 127.0.0.1; 0 = ephemeral (read back via port()). */
+    std::uint16_t port = 0;
+    /** Worker threads executing jobs. */
+    unsigned workers = 4;
+    /** Pending-job bound; a full queue answers Busy. */
+    std::size_t queueCapacity = 64;
+    /** Default per-job deadline, ms (0 = none). */
+    std::uint32_t defaultDeadlineMs = 0;
+    /** Cap on a JobResult server-side wait. */
+    std::uint32_t maxResultWaitMs = 60'000;
+    /**
+     * Base simulation options; per-request fields (seed, scale,
+     * instr, refs, fault rates, oracle) override these per job.
+     */
+    BenchOptions bench;
+    /**
+     * Test hook: replaces the simulator call for each job. Exceptions
+     * thrown here surface as JobState::Failed.
+     */
+    std::function<RunResult(const SubmitRunRequest &)> runner;
+};
+
+enum class ServerStateKind : std::uint8_t
+{
+    Serving = 0,
+    Draining = 1,
+    Stopped = 2,
+};
+
+struct ServerStats
+{
+    std::uint64_t accepted = 0;
+    std::uint64_t rejectedBusy = 0;
+    std::uint64_t rejectedDraining = 0;
+    std::uint64_t rejectedInvalid = 0;
+    std::uint64_t completedOk = 0;
+    std::uint64_t completedDegraded = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t timedOut = 0;
+    std::uint64_t connections = 0;
+    std::uint64_t framesRx = 0;
+    std::uint64_t badFrames = 0;
+
+    std::uint64_t
+    terminal() const
+    {
+        return completedOk + completedDegraded + failed + timedOut;
+    }
+
+    /** Accepted jobs that never reached a terminal state. */
+    std::uint64_t
+    lostJobs() const
+    {
+        return accepted - terminal();
+    }
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerConfig config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind 127.0.0.1:port, start the accept thread and worker pool.
+     * Throws std::runtime_error when the socket cannot be set up.
+     */
+    void start();
+
+    /** Actual listening port (after start(); resolves port 0). */
+    std::uint16_t port() const { return boundPort; }
+
+    /** Refuse new submissions; accepted jobs keep running. */
+    void requestDrain();
+
+    /** True once every accepted job reached a terminal state. */
+    bool drained() const;
+
+    /** Block until drained() (jobs finish or hit their deadline). */
+    void awaitDrained();
+
+    /** True after a client sent Shutdown (daemon exits on this). */
+    bool shutdownRequested() const
+    {
+        return shutdownFlag.load(std::memory_order_acquire);
+    }
+
+    ServerStateKind state() const
+    {
+        return stateFlag.load(std::memory_order_acquire);
+    }
+
+    /** Close the listener and every connection, join all threads. */
+    void stop();
+
+    ServerStats stats() const;
+
+    const ServerConfig &config() const { return cfg; }
+
+    /** Flat JSON snapshot of the daemon metrics registry. */
+    std::string metricsJson();
+
+  private:
+    struct Job
+    {
+        std::uint64_t id = 0;
+        SubmitRunRequest req;
+        JobState state = JobState::Queued;
+        std::string error;
+        RunResult result;
+        double wallSeconds = 0.0;
+        std::uint32_t deadlineMs = 0;
+        std::chrono::steady_clock::time_point acceptedAt{};
+        std::chrono::steady_clock::time_point startedAt{};
+    };
+
+    void acceptLoop();
+    void connectionLoop(int fd);
+    void workerLoop();
+    /** Enforce deadlines; called from the accept loop's tick. */
+    void reapOverdueJobs();
+
+    /** Dispatch one decoded frame; returns the reply frame bytes. */
+    std::vector<std::uint8_t> handleFrame(const Frame &frame);
+    std::vector<std::uint8_t> handleSubmit(const Frame &frame);
+    std::vector<std::uint8_t> handleStatus(const Frame &frame);
+    std::vector<std::uint8_t> handleResult(const Frame &frame);
+    std::vector<std::uint8_t> handleMetrics();
+    std::vector<std::uint8_t> handleHealth();
+    std::vector<std::uint8_t> handleDrain();
+    std::vector<std::uint8_t> handleShutdown();
+
+    RunResult executeJob(const SubmitRunRequest &req);
+    /** Validate a submission; returns an error message or "". */
+    std::string validateRequest(const SubmitRunRequest &req) const;
+    void finalizeJob(Job &job, JobState state, RunResult result,
+                     std::string error, double wall_seconds);
+    void registerMetrics();
+
+    JobResultReply buildResultReply(const Job &job) const;
+
+    ServerConfig cfg;
+    std::uint16_t boundPort = 0;
+    int listenFd = -1;
+    /** Pipe used to wake the accept loop's poll() on stop. */
+    int wakePipe[2] = {-1, -1};
+
+    std::atomic<ServerStateKind> stateFlag{ServerStateKind::Stopped};
+    std::atomic<bool> stopFlag{false};
+    std::atomic<bool> shutdownFlag{false};
+
+    mutable std::mutex mtx;
+    std::condition_variable cvWork;  ///< workers: pending available
+    std::condition_variable cvJobs;  ///< waiters: job state changed
+    std::map<std::uint64_t, Job> jobs;
+    std::deque<std::uint64_t> pending;
+    std::uint64_t nextJobId = 1;
+    unsigned runningJobs = 0;
+    ServerStats counters;
+
+    std::thread acceptThread;
+    std::vector<std::thread> workers;
+    std::vector<std::thread> connections;
+    std::vector<int> connectionFds;
+
+    mutable std::mutex metricsMtx;
+    MetricsRegistry registry;
+    /** Values the registry getters read; refreshed in metricsJson. */
+    std::vector<double> metricShadow;
+    std::chrono::steady_clock::time_point startedAt{};
+};
+
+} // namespace chameleon::serve
+
+#endif // CHAMELEON_SERVE_SERVER_HH

@@ -1,5 +1,6 @@
 #include "sim/experiment.hh"
 
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 
@@ -14,10 +15,35 @@ parseBenchArgs(int argc, char **argv)
     BenchOptions opts;
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
-        auto next_val = [&]() -> std::uint64_t {
+        auto next_raw = [&]() -> const char * {
             if (i + 1 >= argc)
                 fatal("missing value for %s", flag.c_str());
-            return std::strtoull(argv[++i], nullptr, 0);
+            return argv[++i];
+        };
+        // Numeric values are parsed strictly: the whole token must be
+        // one number. "--jobs 4x" or "--seed banana" used to slip
+        // through strtoull as 4 and 0; a typo'd value must be as
+        // fatal as a typo'd flag.
+        auto next_val = [&]() -> std::uint64_t {
+            const char *raw = next_raw();
+            char *end = nullptr;
+            errno = 0;
+            const std::uint64_t v = std::strtoull(raw, &end, 0);
+            if (*raw == '-' || end == raw || *end != '\0' ||
+                errno == ERANGE)
+                fatal("%s expects a non-negative integer, got '%s'",
+                      flag.c_str(), raw);
+            return v;
+        };
+        auto next_double = [&]() -> double {
+            const char *raw = next_raw();
+            char *end = nullptr;
+            errno = 0;
+            const double v = std::strtod(raw, &end);
+            if (end == raw || *end != '\0' || errno == ERANGE)
+                fatal("%s expects a number, got '%s'", flag.c_str(),
+                      raw);
+            return v;
         };
         if (flag == "--scale") {
             opts.scale = next_val();
@@ -28,9 +54,7 @@ parseBenchArgs(int argc, char **argv)
         } else if (flag == "--seed") {
             opts.seed = next_val();
         } else if (flag == "--warmup-frac") {
-            if (i + 1 >= argc)
-                fatal("missing value for --warmup-frac");
-            opts.warmupFrac = std::strtod(argv[++i], nullptr);
+            opts.warmupFrac = next_double();
         } else if (flag == "--stacked-gib") {
             opts.stackedFullGiB = next_val();
         } else if (flag == "--offchip-gib") {
@@ -45,37 +69,26 @@ parseBenchArgs(int argc, char **argv)
                       static_cast<unsigned long long>(n));
             opts.jobs = static_cast<unsigned>(n);
         } else if (flag == "--json") {
-            if (i + 1 >= argc)
-                fatal("missing value for --json");
-            opts.jsonPath = argv[++i];
+            opts.jsonPath = next_raw();
             if (opts.jsonPath.empty())
                 fatal("--json requires a non-empty path");
         } else if (flag == "--oracle") {
             opts.oracle = true;
         } else if (flag == "--faults") {
-            if (i + 1 >= argc)
-                fatal("missing value for --faults");
-            opts.faultRate = std::strtod(argv[++i], nullptr);
+            opts.faultRate = next_double();
         } else if (flag == "--fault-stuck") {
-            if (i + 1 >= argc)
-                fatal("missing value for --fault-stuck");
-            opts.faultStuck = std::strtod(argv[++i], nullptr);
+            opts.faultStuck = next_double();
         } else if (flag == "--fault-spikes") {
-            if (i + 1 >= argc)
-                fatal("missing value for --fault-spikes");
-            opts.faultSpikes = std::strtod(argv[++i], nullptr);
+            opts.faultSpikes = next_double();
         } else if (flag == "--checkpoint") {
-            if (i + 1 >= argc)
-                fatal("missing value for --checkpoint");
-            opts.checkpointPath = argv[++i];
+            opts.checkpointPath = next_raw();
             if (opts.checkpointPath.empty())
                 fatal("--checkpoint requires a non-empty path");
         } else if (flag == "--timeout") {
-            if (i + 1 >= argc)
-                fatal("missing value for --timeout");
-            opts.cellTimeoutSec = std::strtod(argv[++i], nullptr);
-            if (opts.cellTimeoutSec < 0.0)
-                fatal("--timeout must be non-negative");
+            opts.cellTimeoutSec = next_double();
+            if (opts.cellTimeoutSec <= 0.0)
+                fatal("--timeout must be positive (omit the flag "
+                      "for no per-cell budget)");
         } else if (flag == "--retries") {
             const std::uint64_t n = next_val();
             if (n > 100)
@@ -83,15 +96,11 @@ parseBenchArgs(int argc, char **argv)
                       static_cast<unsigned long long>(n));
             opts.maxRetries = static_cast<unsigned>(n);
         } else if (flag == "--trace") {
-            if (i + 1 >= argc)
-                fatal("missing value for --trace");
-            opts.tracePath = argv[++i];
+            opts.tracePath = next_raw();
             if (opts.tracePath.empty())
                 fatal("--trace requires a non-empty path");
         } else if (flag == "--metrics") {
-            if (i + 1 >= argc)
-                fatal("missing value for --metrics");
-            opts.metricsPath = argv[++i];
+            opts.metricsPath = next_raw();
             if (opts.metricsPath.empty())
                 fatal("--metrics requires a non-empty path");
         } else if (flag == "--metrics-interval") {
@@ -110,10 +119,10 @@ parseBenchArgs(int argc, char **argv)
                 "--checkpoint PATH --timeout SEC --retries N "
                 "--trace PATH --metrics PATH --metrics-interval N\n");
             std::exit(0);
-        } else if (flag.rfind("--benchmark", 0) == 0) {
-            // Tolerate google-benchmark runner flags.
-            continue;
         } else {
+            // No prefix tolerance: "--orcale" must not silently run
+            // without the oracle. (google-benchmark binaries parse
+            // their own argv and never reach this function.)
             fatal("unknown flag %s (try --help)", flag.c_str());
         }
     }

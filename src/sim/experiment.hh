@@ -25,10 +25,10 @@
  *   --fault-spikes R  per-(channel, window) latency-spike probability
  *   --checkpoint P    persist completed sweep cells to P; an
  *                     interrupted sweep resumes from it
- *   --timeout S       per-cell wall-clock timeout in seconds
- *                     (0 = none); timed-out cells report
- *                     "status": "timeout" instead of poisoning the
- *                     sweep
+ *   --timeout S       per-cell wall-clock timeout in seconds (must
+ *                     be positive; omit the flag for no budget);
+ *                     timed-out cells report "status": "timeout"
+ *                     instead of poisoning the sweep
  *   --retries N       re-run a throwing cell up to N times with
  *                     exponential backoff before marking it failed
  *   --trace P             write a Chrome trace-event JSON (Perfetto /
@@ -106,7 +106,11 @@ struct BenchOptions
     }
 };
 
-/** Parse the common bench flags; unknown flags are fatal. */
+/**
+ * Parse the common bench flags. Unknown flags are fatal — no prefix
+ * or typo tolerance — and numeric values must parse in full
+ * ("--jobs 4x" and "--seed banana" are rejected, not truncated).
+ */
 BenchOptions parseBenchArgs(int argc, char **argv);
 
 /** Build a SystemConfig for @p design under @p opts. */

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/json.hh"
 #include "common/log.hh"
 
 namespace chameleon
@@ -569,27 +570,6 @@ SweepRunner::collectResults()
         out.push_back(std::move(rec.result));
     return out;
 }
-
-namespace
-{
-
-/** Escape the handful of characters JSON forbids in strings. */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        if (static_cast<unsigned char>(c) < 0x20)
-            continue;
-        out.push_back(c);
-    }
-    return out;
-}
-
-} // namespace
 
 void
 writeSweepJson(const std::string &path,

@@ -36,6 +36,20 @@ designLabel(Design d)
     return "?";
 }
 
+std::optional<Design>
+designFromLabel(std::string_view label)
+{
+    static constexpr Design all[] = {
+        Design::FlatDdr,   Design::NumaFlat,     Design::Alloy,
+        Design::Pom,       Design::Chameleon,    Design::ChameleonOpt,
+        Design::Polymorphic,
+    };
+    for (Design d : all)
+        if (label == designLabel(d))
+            return d;
+    return std::nullopt;
+}
+
 System::System(const SystemConfig &config) : cfg(config)
 {
     if (cfg.design == Design::FlatDdr)

@@ -9,7 +9,9 @@
 #define CHAMELEON_SIM_SYSTEM_HH
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cpu/core_model.hh"
@@ -43,6 +45,13 @@ enum class Design : std::uint8_t
 
 /** Printable design label. */
 const char *designLabel(Design d);
+
+/**
+ * Inverse of designLabel() ("chameleon-opt" -> ChameleonOpt);
+ * std::nullopt for an unknown label. Used by the serving layer to
+ * validate requests instead of trusting remote strings.
+ */
+std::optional<Design> designFromLabel(std::string_view label);
 
 /** Observability outputs (src/obs): event tracing + metric series. */
 struct ObsConfig

@@ -66,10 +66,34 @@ TEST(Experiment, ZeroScaleIsFatal)
     EXPECT_DEATH(parse({"--scale", "0"}), "positive");
 }
 
-TEST(Experiment, BenchmarkRunnerFlagsTolerated)
+// Regression: "--orcale" (and every other typo, including the
+// formerly tolerated --benchmark* prefix) must error out rather than
+// silently run without the requested feature.
+TEST(Experiment, TypoedFlagsAreFatal)
 {
-    const BenchOptions o = parse({"--benchmark_filter=.*"});
-    EXPECT_EQ(o.scale, 64u);
+    EXPECT_DEATH(parse({"--orcale"}), "unknown flag");
+    EXPECT_DEATH(parse({"--benchmark_filter=.*"}), "unknown flag");
+    EXPECT_DEATH(parse({"--time-out", "5"}), "unknown flag");
+}
+
+// Regression: numeric values must parse in full; trailing garbage or
+// non-numeric tokens used to be truncated ("--jobs 4x" ran as 4) or
+// read as zero ("--seed banana").
+TEST(Experiment, MalformedNumericValuesAreFatal)
+{
+    EXPECT_DEATH(parse({"--jobs", "4x"}), "non-negative integer");
+    EXPECT_DEATH(parse({"--seed", "banana"}), "non-negative integer");
+    EXPECT_DEATH(parse({"--scale", "-3"}), "non-negative integer");
+    EXPECT_DEATH(parse({"--faults", "0.1.2"}), "expects a number");
+    EXPECT_DEATH(parse({"--timeout", "abc"}), "expects a number");
+}
+
+TEST(Experiment, NonPositiveKnobsAreFatal)
+{
+    EXPECT_DEATH(parse({"--jobs", "0"}), "at least 1");
+    EXPECT_DEATH(parse({"--metrics-interval", "0"}), "positive");
+    EXPECT_DEATH(parse({"--timeout", "0"}), "positive");
+    EXPECT_DEATH(parse({"--timeout", "-2"}), "positive");
 }
 
 TEST(Experiment, ConfigFactoryAppliesOptions)

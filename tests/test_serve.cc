@@ -1,0 +1,760 @@
+/**
+ * @file
+ * Serving-daemon suite (ctest -L serve): wire-protocol round trips
+ * and defensive decoding, then the Server over real loopback TCP —
+ * concurrent clients, bounded-queue backpressure, deadline
+ * enforcement with late-result discard, degraded fault results, and
+ * the graceful-drain zero-lost invariant.
+ *
+ * Server tests inject a stub runner (ServerConfig::runner), so they
+ * exercise the serving machinery — framing, queueing, threading,
+ * state — without paying for real simulations; one end-to-end test
+ * at the bottom runs the real simulator through the daemon.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "serve/client.hh"
+#include "serve/net_util.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+
+using namespace chameleon;
+using namespace chameleon::serve;
+
+namespace
+{
+
+SubmitRunRequest
+sampleRequest()
+{
+    SubmitRunRequest req;
+    req.design = "chameleon-opt";
+    req.app = "stream";
+    req.seed = 42;
+    req.scale = 512;
+    req.instrPerCore = 10'000;
+    req.minRefsPerCore = 500;
+    req.faultRate = 1e-4;
+    req.faultStuck = 1e-3;
+    req.faultSpikes = 0.05;
+    req.oracle = true;
+    req.deadlineMs = 1234;
+    return req;
+}
+
+RunResult
+stubResult()
+{
+    RunResult r;
+    r.ipcGeoMean = 1.25;
+    r.stackedHitRate = 0.875;
+    r.amal = 123.5;
+    r.cacheModeFraction = 0.5;
+    r.cpuUtilization = 0.9;
+    r.swaps = 11;
+    r.fills = 22;
+    r.majorFaults = 3;
+    r.minorFaults = 400;
+    r.instructions = 120'000;
+    r.memRefs = 6'000;
+    r.makespan = 987'654;
+    return r;
+}
+
+/** Raw loopback TCP connection for malformed-bytes tests. */
+int
+rawConnect(std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    return fd;
+}
+
+/** Read frames until one decodes (or the peer closes / 5s pass). */
+bool
+readOneFrame(int fd, Frame &frame)
+{
+    std::vector<std::uint8_t> buf;
+    std::uint8_t chunk[4096];
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(5);
+    while (std::chrono::steady_clock::now() < deadline) {
+        std::size_t consumed = 0;
+        if (decodeFrame(buf.data(), buf.size(), frame, consumed) ==
+            FrameStatus::Ok)
+            return true;
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            return false;
+        buf.insert(buf.end(), chunk, chunk + n);
+    }
+    return false;
+}
+
+/** A server wired to a stub runner, started on an ephemeral port. */
+struct StubServer
+{
+    explicit StubServer(
+        std::function<RunResult(const SubmitRunRequest &)> runner,
+        unsigned workers = 2, std::size_t queue_capacity = 64,
+        std::uint32_t default_deadline_ms = 0)
+    {
+        ServerConfig cfg;
+        cfg.workers = workers;
+        cfg.queueCapacity = queue_capacity;
+        cfg.defaultDeadlineMs = default_deadline_ms;
+        cfg.runner = std::move(runner);
+        server = std::make_unique<Server>(std::move(cfg));
+        server->start();
+    }
+
+    Client
+    client() const
+    {
+        ClientConfig ccfg;
+        ccfg.port = server->port();
+        return Client(ccfg);
+    }
+
+    std::unique_ptr<Server> server;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Protocol: encoding round trips
+// ---------------------------------------------------------------
+
+TEST(ServeProtocol, SubmitRunRoundTrip)
+{
+    const SubmitRunRequest in = sampleRequest();
+    SubmitRunRequest out;
+    ASSERT_TRUE(decodeSubmitRun(encodeSubmitRun(in), out));
+    EXPECT_EQ(out.design, in.design);
+    EXPECT_EQ(out.app, in.app);
+    EXPECT_EQ(out.seed, in.seed);
+    EXPECT_EQ(out.scale, in.scale);
+    EXPECT_EQ(out.instrPerCore, in.instrPerCore);
+    EXPECT_EQ(out.minRefsPerCore, in.minRefsPerCore);
+    EXPECT_DOUBLE_EQ(out.faultRate, in.faultRate);
+    EXPECT_DOUBLE_EQ(out.faultStuck, in.faultStuck);
+    EXPECT_DOUBLE_EQ(out.faultSpikes, in.faultSpikes);
+    EXPECT_EQ(out.oracle, in.oracle);
+    EXPECT_EQ(out.deadlineMs, in.deadlineMs);
+}
+
+TEST(ServeProtocol, ResultReplyRoundTrip)
+{
+    JobResultReply in;
+    in.jobId = 7;
+    in.state = JobState::Degraded;
+    in.error = "partial";
+    in.wallSeconds = 1.5;
+    fillResultReply(in, stubResult());
+    in.retiredSegments = 9;
+    in.eccUncorrectable = 2;
+
+    JobResultReply out;
+    ASSERT_TRUE(decodeJobResultReply(encodeJobResultReply(in), out));
+    EXPECT_EQ(out.jobId, 7u);
+    EXPECT_EQ(out.state, JobState::Degraded);
+    EXPECT_EQ(out.error, "partial");
+    EXPECT_DOUBLE_EQ(out.ipc, 1.25);
+    EXPECT_DOUBLE_EQ(out.hitRate, 0.875);
+    EXPECT_DOUBLE_EQ(out.amal, 123.5);
+    EXPECT_EQ(out.makespan, 987'654u);
+    EXPECT_EQ(out.retiredSegments, 9u);
+    EXPECT_EQ(out.eccUncorrectable, 2u);
+}
+
+TEST(ServeProtocol, AllSmallRepliesRoundTrip)
+{
+    SubmitRunReply sub{99, 5};
+    SubmitRunReply sub2;
+    ASSERT_TRUE(decodeSubmitReply(encodeSubmitReply(sub), sub2));
+    EXPECT_EQ(sub2.jobId, 99u);
+    EXPECT_EQ(sub2.queueDepth, 5u);
+
+    JobStatusReply st{3, JobState::Running, 0.25};
+    JobStatusReply st2;
+    ASSERT_TRUE(decodeJobStatusReply(encodeJobStatusReply(st), st2));
+    EXPECT_EQ(st2.state, JobState::Running);
+    EXPECT_DOUBLE_EQ(st2.wallSeconds, 0.25);
+
+    HealthReply h;
+    h.state = 1;
+    h.uptimeMs = 12345;
+    h.queuedJobs = 2;
+    h.runningJobs = 3;
+    h.acceptedJobs = 40;
+    h.completedJobs = 35;
+    HealthReply h2;
+    ASSERT_TRUE(decodeHealthReply(encodeHealthReply(h), h2));
+    EXPECT_EQ(h2.state, 1);
+    EXPECT_EQ(h2.uptimeMs, 12345u);
+    EXPECT_EQ(h2.completedJobs, 35u);
+
+    MetricsReply m{"{\"a\":1}"};
+    MetricsReply m2;
+    ASSERT_TRUE(decodeMetricsReply(encodeMetricsReply(m), m2));
+    EXPECT_EQ(m2.json, "{\"a\":1}");
+
+    ErrorReply e{ErrCode::Busy, "queue full"};
+    ErrorReply e2;
+    ASSERT_TRUE(decodeError(encodeError(e), e2));
+    EXPECT_EQ(e2.code, ErrCode::Busy);
+    EXPECT_EQ(e2.message, "queue full");
+}
+
+// ---------------------------------------------------------------
+// Protocol: defensive decoding
+// ---------------------------------------------------------------
+
+TEST(ServeProtocol, TruncatedFramesWantMoreBytes)
+{
+    const auto full =
+        encodeFrame(MsgType::SubmitRun, encodeSubmitRun(sampleRequest()));
+    Frame frame;
+    std::size_t consumed = 0;
+    // Every strict prefix is NeedMore, never Ok and never a crash.
+    for (std::size_t n = 0; n < full.size(); ++n)
+        ASSERT_EQ(decodeFrame(full.data(), n, frame, consumed),
+                  FrameStatus::NeedMore)
+            << "prefix length " << n;
+    EXPECT_EQ(decodeFrame(full.data(), full.size(), frame, consumed),
+              FrameStatus::Ok);
+    EXPECT_EQ(consumed, full.size());
+    EXPECT_EQ(frame.type, MsgType::SubmitRun);
+}
+
+TEST(ServeProtocol, BadMagicIsRejectedEvenPartial)
+{
+    std::vector<std::uint8_t> junk = {'G', 'E', 'T', ' ', '/', ' '};
+    Frame frame;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decodeFrame(junk.data(), junk.size(), frame, consumed),
+              FrameStatus::BadMagic);
+    // Even a 2-byte prefix that cannot be this protocol's magic is
+    // rejected immediately rather than waiting for more bytes.
+    EXPECT_EQ(decodeFrame(junk.data(), 2, frame, consumed),
+              FrameStatus::BadMagic);
+}
+
+TEST(ServeProtocol, WrongVersionIsRejected)
+{
+    auto bytes = encodeFrame(MsgType::Health, {});
+    bytes[4] = 0x7f; // version low byte
+    Frame frame;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decodeFrame(bytes.data(), bytes.size(), frame, consumed),
+              FrameStatus::BadVersion);
+}
+
+TEST(ServeProtocol, OversizedDeclaredPayloadIsRejected)
+{
+    auto bytes = encodeFrame(MsgType::Health, {});
+    const std::uint32_t huge = kMaxPayloadBytes + 1;
+    std::memcpy(bytes.data() + 8, &huge, sizeof(huge));
+    Frame frame;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decodeFrame(bytes.data(), bytes.size(), frame, consumed),
+              FrameStatus::Oversized);
+}
+
+TEST(ServeProtocol, MalformedPayloadsFailCleanly)
+{
+    const auto good = encodeSubmitRun(sampleRequest());
+    SubmitRunRequest out;
+
+    // Truncation at every byte boundary.
+    for (std::size_t n = 0; n < good.size(); ++n) {
+        const std::vector<std::uint8_t> cut(good.begin(),
+                                            good.begin() +
+                                                static_cast<std::ptrdiff_t>(n));
+        EXPECT_FALSE(decodeSubmitRun(cut, out)) << "cut at " << n;
+    }
+
+    // Trailing garbage is rejected, not silently ignored.
+    auto padded = good;
+    padded.push_back(0xAB);
+    EXPECT_FALSE(decodeSubmitRun(padded, out));
+
+    // A string length pointing past the payload end.
+    auto lied = good;
+    lied[0] = 0xFF;
+    lied[1] = 0xFF;
+    EXPECT_FALSE(decodeSubmitRun(lied, out));
+}
+
+TEST(ServeProtocol, OverlongStringIsRejected)
+{
+    WireWriter w;
+    w.u32(kMaxStringBytes + 1);
+    for (std::uint32_t i = 0; i < kMaxStringBytes + 1; ++i)
+        w.u8('x');
+    const auto payload = w.take();
+    WireReader r(payload);
+    std::string s;
+    EXPECT_FALSE(r.str(s));
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(ServeProtocol, Labels)
+{
+    EXPECT_STREQ(jobStateLabel(JobState::Degraded), "degraded");
+    EXPECT_STREQ(jobStateLabel(JobState::TimedOut), "timeout");
+    EXPECT_STREQ(errCodeLabel(ErrCode::Busy), "busy");
+    EXPECT_TRUE(jobStateTerminal(JobState::Failed));
+    EXPECT_FALSE(jobStateTerminal(JobState::Running));
+}
+
+// ---------------------------------------------------------------
+// Server over loopback TCP
+// ---------------------------------------------------------------
+
+TEST(ServeServer, SubmitRunsAndReturnsResult)
+{
+    StubServer srv([](const SubmitRunRequest &) {
+        return stubResult();
+    });
+    Client c = srv.client();
+
+    const SubmitRunReply sub = c.submitRun(sampleRequest());
+    EXPECT_GE(sub.jobId, 1u);
+
+    const JobResultReply res = c.result(sub.jobId, 10'000);
+    EXPECT_EQ(res.state, JobState::Ok);
+    EXPECT_DOUBLE_EQ(res.ipc, 1.25);
+    EXPECT_DOUBLE_EQ(res.hitRate, 0.875);
+    EXPECT_EQ(res.fills, 22u);
+
+    const ServerStats st = srv.server->stats();
+    EXPECT_EQ(st.accepted, 1u);
+    EXPECT_EQ(st.completedOk, 1u);
+    EXPECT_EQ(st.lostJobs(), 0u);
+}
+
+TEST(ServeServer, FaultDegradedRunsAreFirstClassResults)
+{
+    StubServer srv([](const SubmitRunRequest &) {
+        RunResult r = stubResult();
+        r.retiredSegments = 5;
+        r.retiredBytes = 5u * 4096;
+        r.eccUncorrectable = 1;
+        return r;
+    });
+    Client c = srv.client();
+
+    const SubmitRunReply sub = c.submitRun(sampleRequest());
+    const JobResultReply res = c.result(sub.jobId, 10'000);
+    EXPECT_EQ(res.state, JobState::Degraded);
+    EXPECT_EQ(res.retiredSegments, 5u);
+    EXPECT_EQ(res.eccUncorrectable, 1u);
+    // Statistics still valid alongside the degradation counters.
+    EXPECT_DOUBLE_EQ(res.ipc, 1.25);
+    EXPECT_EQ(srv.server->stats().completedDegraded, 1u);
+}
+
+TEST(ServeServer, ThrowingJobReportsFailed)
+{
+    StubServer srv([](const SubmitRunRequest &) -> RunResult {
+        throw std::runtime_error("injected boom");
+    });
+    Client c = srv.client();
+    const SubmitRunReply sub = c.submitRun(sampleRequest());
+    const JobResultReply res = c.result(sub.jobId, 10'000);
+    EXPECT_EQ(res.state, JobState::Failed);
+    EXPECT_NE(res.error.find("injected boom"), std::string::npos);
+    EXPECT_EQ(srv.server->stats().lostJobs(), 0u);
+}
+
+TEST(ServeServer, UnknownJobAndBadRequestsAreTypedErrors)
+{
+    StubServer srv([](const SubmitRunRequest &) {
+        return stubResult();
+    });
+    Client c = srv.client();
+
+    try {
+        c.result(424242, 0);
+        FAIL() << "expected UnknownJob";
+    } catch (const ServeError &e) {
+        EXPECT_EQ(e.kind(), ServeErrorKind::ServerError);
+        EXPECT_EQ(e.code(), ErrCode::UnknownJob);
+    }
+
+    SubmitRunRequest bad = sampleRequest();
+    bad.design = "warp-drive";
+    try {
+        c.submitRun(bad);
+        FAIL() << "expected BadRequest";
+    } catch (const ServeError &e) {
+        EXPECT_EQ(e.code(), ErrCode::BadRequest);
+    }
+
+    bad = sampleRequest();
+    bad.app = "no-such-app";
+    EXPECT_THROW(c.submitRun(bad), ServeError);
+
+    bad = sampleRequest();
+    bad.faultRate = 2.5;
+    EXPECT_THROW(c.submitRun(bad), ServeError);
+
+    bad = sampleRequest();
+    bad.scale = 0;
+    EXPECT_THROW(c.submitRun(bad), ServeError);
+
+    EXPECT_EQ(srv.server->stats().rejectedInvalid, 4u);
+    EXPECT_EQ(srv.server->stats().accepted, 0u);
+}
+
+TEST(ServeServer, BoundedQueueAnswersBusy)
+{
+    std::mutex m;
+    std::condition_variable cv;
+    bool release = false;
+    std::atomic<int> started{0};
+
+    StubServer srv(
+        [&](const SubmitRunRequest &) {
+            started.fetch_add(1);
+            std::unique_lock<std::mutex> lock(m);
+            cv.wait(lock, [&] { return release; });
+            return stubResult();
+        },
+        /*workers=*/1, /*queue_capacity=*/1);
+    Client c = srv.client();
+
+    // First job: picked up by the single worker (leaves the queue).
+    const SubmitRunReply a = c.submitRun(sampleRequest());
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(5);
+    while (started.load() == 0 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_EQ(started.load(), 1);
+
+    // Second job fills the queue; third must bounce with Busy.
+    const SubmitRunReply b = c.submitRun(sampleRequest());
+    try {
+        c.submitRun(sampleRequest());
+        FAIL() << "expected Busy";
+    } catch (const ServeError &e) {
+        EXPECT_EQ(e.code(), ErrCode::Busy);
+    }
+    EXPECT_EQ(srv.server->stats().rejectedBusy, 1u);
+
+    {
+        std::lock_guard<std::mutex> lock(m);
+        release = true;
+    }
+    cv.notify_all();
+    EXPECT_EQ(c.result(a.jobId, 10'000).state, JobState::Ok);
+    EXPECT_EQ(c.result(b.jobId, 10'000).state, JobState::Ok);
+    EXPECT_EQ(srv.server->stats().lostJobs(), 0u);
+}
+
+TEST(ServeServer, DeadlineExpiredJobReportsTimeout)
+{
+    std::atomic<bool> finished{false};
+    StubServer srv(
+        [&](const SubmitRunRequest &) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(600));
+            finished.store(true);
+            return stubResult();
+        },
+        /*workers=*/1);
+    Client c = srv.client();
+
+    SubmitRunRequest req = sampleRequest();
+    req.deadlineMs = 50;
+    const SubmitRunReply sub = c.submitRun(req);
+
+    const JobResultReply res = c.result(sub.jobId, 10'000);
+    EXPECT_EQ(res.state, JobState::TimedOut);
+    EXPECT_NE(res.error.find("deadline"), std::string::npos);
+    EXPECT_FALSE(finished.load()) << "timeout must not wait for the "
+                                     "stuck worker";
+
+    // The abandoned worker's late result is discarded: the state
+    // stays timeout after the stub finally returns.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(5);
+    while (!finished.load() &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_TRUE(finished.load());
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_EQ(c.result(sub.jobId, 0).state, JobState::TimedOut);
+
+    const ServerStats st = srv.server->stats();
+    EXPECT_EQ(st.timedOut, 1u);
+    EXPECT_EQ(st.completedOk, 0u);
+    EXPECT_EQ(st.lostJobs(), 0u);
+}
+
+TEST(ServeServer, SixteenConcurrentClients)
+{
+    StubServer srv(
+        [](const SubmitRunRequest &req) {
+            // A little jitter so completions interleave.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1 + req.seed % 5));
+            return stubResult();
+        },
+        /*workers=*/4, /*queue_capacity=*/256);
+
+    constexpr unsigned kClients = 16;
+    constexpr unsigned kJobsPerClient = 3;
+    std::atomic<unsigned> okCount{0};
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kClients; ++t)
+        threads.emplace_back([&, t] {
+            Client c = srv.client();
+            for (unsigned j = 0; j < kJobsPerClient; ++j) {
+                SubmitRunRequest req = sampleRequest();
+                req.seed = t * 100 + j;
+                const SubmitRunReply sub = c.submitRun(req);
+                const JobResultReply res =
+                    c.result(sub.jobId, 30'000);
+                if (res.state == JobState::Ok)
+                    okCount.fetch_add(1);
+            }
+        });
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(okCount.load(), kClients * kJobsPerClient);
+    const ServerStats st = srv.server->stats();
+    EXPECT_EQ(st.accepted, kClients * kJobsPerClient);
+    EXPECT_EQ(st.completedOk, kClients * kJobsPerClient);
+    EXPECT_EQ(st.lostJobs(), 0u);
+    EXPECT_GE(st.connections, kClients);
+}
+
+TEST(ServeServer, DrainFinishesAcceptedJobsAndRefusesNew)
+{
+    StubServer srv(
+        [](const SubmitRunRequest &) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+            return stubResult();
+        },
+        /*workers=*/2, /*queue_capacity=*/64);
+    Client c = srv.client();
+
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 6; ++i)
+        ids.push_back(c.submitRun(sampleRequest()).jobId);
+
+    const DrainReply d = c.drain();
+    EXPECT_GT(d.remainingJobs, 0u);
+    EXPECT_EQ(srv.server->state(), ServerStateKind::Draining);
+
+    // New submissions bounce while queries keep working.
+    try {
+        c.submitRun(sampleRequest());
+        FAIL() << "expected Draining";
+    } catch (const ServeError &e) {
+        EXPECT_EQ(e.code(), ErrCode::Draining);
+    }
+
+    // Every accepted job still reaches a terminal state and its
+    // result stays collectable during the drain.
+    for (std::uint64_t id : ids) {
+        const JobResultReply res = c.result(id, 30'000);
+        EXPECT_EQ(res.state, JobState::Ok) << "job " << id;
+    }
+
+    srv.server->awaitDrained();
+    const ServerStats st = srv.server->stats();
+    EXPECT_EQ(st.accepted, 6u);
+    EXPECT_EQ(st.completedOk, 6u);
+    EXPECT_EQ(st.lostJobs(), 0u);
+    EXPECT_EQ(st.rejectedDraining, 1u);
+}
+
+TEST(ServeServer, GarbageBytesGetTypedErrorThenClose)
+{
+    StubServer srv([](const SubmitRunRequest &) {
+        return stubResult();
+    });
+
+    const int fd = rawConnect(srv.server->port());
+    const char junk[] = "GET / HTTP/1.1\r\n\r\n";
+    ASSERT_TRUE(sendAll(fd,
+                        reinterpret_cast<const std::uint8_t *>(junk),
+                        sizeof(junk) - 1));
+
+    Frame frame;
+    ASSERT_TRUE(readOneFrame(fd, frame));
+    EXPECT_EQ(frame.type, MsgType::Error);
+    ErrorReply err;
+    ASSERT_TRUE(decodeError(frame.payload, err));
+    EXPECT_EQ(err.code, ErrCode::Malformed);
+
+    // The server closes the untrusted stream after the error reply.
+    std::uint8_t b;
+    EXPECT_EQ(::recv(fd, &b, 1, 0), 0);
+    ::close(fd);
+    EXPECT_GE(srv.server->stats().badFrames, 1u);
+}
+
+TEST(ServeServer, WrongVersionAndOversizedFramesGetTypedErrors)
+{
+    StubServer srv([](const SubmitRunRequest &) {
+        return stubResult();
+    });
+
+    {
+        int fd = rawConnect(srv.server->port());
+        auto bytes = encodeFrame(MsgType::Health, {});
+        bytes[4] = 0x09;
+        ASSERT_TRUE(sendAll(fd, bytes.data(), bytes.size()));
+        Frame frame;
+        ASSERT_TRUE(readOneFrame(fd, frame));
+        ErrorReply err;
+        ASSERT_TRUE(decodeError(frame.payload, err));
+        EXPECT_EQ(err.code, ErrCode::BadVersion);
+        ::close(fd);
+    }
+    {
+        int fd = rawConnect(srv.server->port());
+        auto bytes = encodeFrame(MsgType::Health, {});
+        const std::uint32_t huge = kMaxPayloadBytes + 7;
+        std::memcpy(bytes.data() + 8, &huge, sizeof(huge));
+        ASSERT_TRUE(sendAll(fd, bytes.data(), bytes.size()));
+        Frame frame;
+        ASSERT_TRUE(readOneFrame(fd, frame));
+        ErrorReply err;
+        ASSERT_TRUE(decodeError(frame.payload, err));
+        EXPECT_EQ(err.code, ErrCode::Oversized);
+        ::close(fd);
+    }
+
+    // A truncated frame (valid prefix, missing payload bytes) must
+    // not elicit a reply — the server waits for the rest.
+    {
+        int fd = rawConnect(srv.server->port());
+        const auto full = encodeFrame(
+            MsgType::SubmitRun, encodeSubmitRun(sampleRequest()));
+        ASSERT_TRUE(sendAll(fd, full.data(), full.size() / 2));
+        timeval tv{0, 300'000};
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        std::uint8_t b;
+        EXPECT_LT(::recv(fd, &b, 1, 0), 0); // times out, no reply
+        // Completing the frame gets the normal reply.
+        ASSERT_TRUE(sendAll(fd, full.data() + full.size() / 2,
+                            full.size() - full.size() / 2));
+        Frame frame;
+        ASSERT_TRUE(readOneFrame(fd, frame));
+        EXPECT_EQ(frame.type, MsgType::SubmitReply);
+        ::close(fd);
+    }
+}
+
+TEST(ServeServer, MetricsAndHealthEndpoints)
+{
+    StubServer srv([](const SubmitRunRequest &) {
+        return stubResult();
+    });
+    Client c = srv.client();
+
+    const HealthReply h0 = c.health();
+    EXPECT_EQ(h0.state, 0); // serving
+    EXPECT_EQ(h0.acceptedJobs, 0u);
+
+    const SubmitRunReply sub = c.submitRun(sampleRequest());
+    ASSERT_EQ(c.result(sub.jobId, 10'000).state, JobState::Ok);
+
+    const std::string json = c.metricsJson();
+    EXPECT_NE(json.find("\"serve_jobs_accepted\":1"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"serve_jobs_ok\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"state\":\"serving\""), std::string::npos);
+
+    const HealthReply h1 = c.health();
+    EXPECT_EQ(h1.acceptedJobs, 1u);
+    EXPECT_EQ(h1.completedJobs, 1u);
+}
+
+TEST(ServeServer, ShutdownRequestDrainsAndFlagsExit)
+{
+    StubServer srv([](const SubmitRunRequest &) {
+        return stubResult();
+    });
+    Client c = srv.client();
+    c.shutdown();
+    EXPECT_TRUE(srv.server->shutdownRequested());
+    EXPECT_EQ(srv.server->state(), ServerStateKind::Draining);
+    srv.server->awaitDrained();
+    EXPECT_EQ(srv.server->stats().lostJobs(), 0u);
+}
+
+// ---------------------------------------------------------------
+// End to end: one real simulation through the daemon
+// ---------------------------------------------------------------
+
+TEST(ServeServer, EndToEndRealSimulation)
+{
+    ServerConfig cfg;
+    cfg.workers = 2;
+    cfg.bench.scale = 512;
+    cfg.bench.instrPerCore = 20'000;
+    cfg.bench.minRefsPerCore = 1'000;
+    Server server(std::move(cfg));
+    server.start();
+
+    ClientConfig ccfg;
+    ccfg.port = server.port();
+    Client c(ccfg);
+
+    SubmitRunRequest req;
+    req.design = "chameleon-opt";
+    req.app = "stream";
+    req.scale = 512;
+    req.instrPerCore = 20'000;
+    req.minRefsPerCore = 1'000;
+    const SubmitRunReply sub = c.submitRun(req);
+    const JobResultReply res = c.result(sub.jobId, 60'000);
+    EXPECT_EQ(res.state, JobState::Ok);
+    EXPECT_GT(res.ipc, 0.0);
+    EXPECT_GT(res.instructions, 0u);
+    EXPECT_GT(res.memRefs, 0u);
+
+    // Fault-injected run surfaces as degraded with full stats.
+    req.faultStuck = 0.05;
+    req.faultRate = 0.002;
+    req.seed = 7;
+    const SubmitRunReply sub2 = c.submitRun(req);
+    const JobResultReply res2 = c.result(sub2.jobId, 60'000);
+    EXPECT_EQ(res2.state, JobState::Degraded);
+    EXPECT_GT(res2.retiredSegments, 0u);
+    EXPECT_GT(res2.ipc, 0.0);
+
+    server.stop();
+    EXPECT_EQ(server.stats().lostJobs(), 0u);
+}
