@@ -3,15 +3,39 @@
  * Closed-loop load generator for chameleond (src/serve).
  *
  * Starts an in-process Server on an ephemeral loopback port, then
- * sweeps client counts: each client thread opens its own TCP
- * connection and loops submit -> blocking result, measuring the full
- * request round-trip (queueing + simulation + wire). Per-sweep output
- * is throughput plus p50/p95/p99 latency; the final stage drains the
- * server under full load and checks the zero-lost-jobs invariant.
+ * runs two client sweeps:
+ *
+ *  1. uncached baseline — every request sets noCache and a unique
+ *     seed, so each one pays for a full simulation. Client counts
+ *     sweep 1 -> min(64, --max-clients); this is the apples-to-apples
+ *     row against the PR 5 thread-per-connection numbers.
+ *  2. cached mix — client counts sweep 1 -> --max-clients (default
+ *     1024, riding the epoll event loop). Each request is drawn
+ *     deterministically: --cached-pct percent target a small hot set
+ *     of fixed jobs (result-cache hits after warmup, single-flight
+ *     coalescing during it); the cold remainder is drawn from a
+ *     bounded pool of --cold-pool distinct specs per sweep cell, the
+ *     fleet-realistic tail where rarer jobs still repeat across
+ *     clients (first occurrence simulates, concurrent twins
+ *     coalesce, later ones hit). --cold-pool 0 makes every cold
+ *     draw unique instead — the adversarial all-miss tail, which
+ *     caps 90%-mix throughput at 10x the raw simulation rate.
+ *
+ * Latency percentiles are aggregated across each sweep cell
+ * (clients x requests samples). p99 is reported only from >= 100
+ * samples and p95 from >= 20 — smaller cells emit JSON null instead
+ * of a noise value masquerading as a tail.
+ *
+ * The final stage drains the server under full load and checks the
+ * zero-lost-jobs invariant.
  *
  * Flags:
- *   --max-clients N   top of the client sweep (default 64)
+ *   --max-clients N   top of the cached sweep (default 1024)
  *   --requests N      requests per client per sweep (default 6)
+ *   --cached-pct N    hot-set share of the cached mix (default 90)
+ *   --cold-pool N     distinct cold specs per sweep cell (default
+ *                     64; 0 = every cold draw unique)
+ *   --cache-bytes N   server result-cache budget (default 64 MiB)
  *   --workers N       server worker threads (default 4)
  *   --queue N         server pending-queue bound (default 128)
  *   --scale/--instr/--refs/--seed   job size knobs (serve-sized
@@ -41,6 +65,10 @@ using namespace chameleon;
 using namespace chameleon::serve;
 
 using Clock = std::chrono::steady_clock;
+
+/** Minimum samples before a percentile is considered meaningful. */
+constexpr std::size_t kMinSamplesP95 = 20;
+constexpr std::size_t kMinSamplesP99 = 100;
 
 double
 msSince(Clock::time_point t0)
@@ -76,6 +104,17 @@ constexpr JobMix kMix[] = {
 };
 constexpr std::size_t kMixSize = sizeof(kMix) / sizeof(kMix[0]);
 
+/** Seed shared by every hot-set job (cache hits after warmup). */
+constexpr std::uint64_t kHotSeed = 7;
+
+enum class SweepMode
+{
+    /** noCache + unique seeds: every request simulates. */
+    Uncached,
+    /** cached-pct% hot-set requests, remainder cold-pool jobs. */
+    Mixed,
+};
+
 struct ClientTally
 {
     std::vector<double> latenciesMs;
@@ -84,12 +123,27 @@ struct ClientTally
     std::uint64_t busy = 0;
     std::uint64_t draining = 0;
     std::uint64_t errors = 0;
+    std::uint64_t cachedReplies = 0;
+    std::uint64_t coalescedReplies = 0;
 };
+
+/** Deterministic per-request draw, stable across runs. */
+std::uint32_t
+mixDraw(unsigned client_idx, unsigned r)
+{
+    std::uint32_t h = client_idx * 2654435761u + r * 40503u + 1u;
+    h ^= h >> 16;
+    h *= 2246822519u;
+    h ^= h >> 13;
+    return h;
+}
 
 /** One closed-loop client: submit, block for the result, repeat. */
 ClientTally
 clientLoop(std::uint16_t port, unsigned client_idx, unsigned requests,
-           const BenchOptions &bench)
+           const BenchOptions &bench, SweepMode mode,
+           unsigned cached_pct, unsigned cold_pool,
+           std::uint64_t seed_base)
 {
     ClientTally tally;
     ClientConfig ccfg;
@@ -98,14 +152,36 @@ clientLoop(std::uint16_t port, unsigned client_idx, unsigned requests,
     Client client(ccfg);
 
     for (unsigned r = 0; r < requests; ++r) {
-        const JobMix &mix = kMix[(client_idx + r) % kMixSize];
         SubmitRunRequest req;
-        req.design = mix.design;
-        req.app = mix.app;
-        req.seed = 1 + client_idx * 1000 + r;
         req.scale = bench.scale;
         req.instrPerCore = bench.instrPerCore;
         req.minRefsPerCore = bench.minRefsPerCore;
+
+        const std::uint32_t draw = mixDraw(client_idx, r);
+        const bool hot = mode == SweepMode::Mixed &&
+                         draw % 100 < cached_pct;
+        if (hot) {
+            const JobMix &mix = kMix[draw % kMixSize];
+            req.design = mix.design;
+            req.app = mix.app;
+            req.seed = kHotSeed;
+        } else if (mode == SweepMode::Mixed && cold_pool > 0) {
+            // Cold tail with realistic repetition: the spec is a
+            // pure function of its pool slot, so the first draw of a
+            // slot simulates while concurrent twins coalesce and
+            // later ones hit.
+            const std::uint32_t slot = (draw / 101u) % cold_pool;
+            const JobMix &mix = kMix[slot % kMixSize];
+            req.design = mix.design;
+            req.app = mix.app;
+            req.seed = seed_base + slot;
+        } else {
+            const JobMix &mix = kMix[(client_idx + r) % kMixSize];
+            req.design = mix.design;
+            req.app = mix.app;
+            req.seed = seed_base + client_idx * 1000 + r;
+            req.noCache = mode == SweepMode::Uncached;
+        }
 
         const auto t0 = Clock::now();
         try {
@@ -113,6 +189,10 @@ clientLoop(std::uint16_t port, unsigned client_idx, unsigned requests,
             const JobResultReply res =
                 client.result(sub.jobId, 120'000);
             tally.latenciesMs.push_back(msSince(t0));
+            if (res.cacheFlags & kResultFromCache)
+                ++tally.cachedReplies;
+            if (res.cacheFlags & kResultCoalesced)
+                ++tally.coalescedReplies;
             if (res.state == JobState::Ok)
                 ++tally.ok;
             else if (res.state == JobState::Degraded)
@@ -148,15 +228,26 @@ struct SweepResult
     std::uint64_t completed = 0;
     std::uint64_t busy = 0;
     std::uint64_t errors = 0;
+    std::uint64_t cachedReplies = 0;
+    std::uint64_t coalescedReplies = 0;
+    std::size_t samples = 0;
     double wallSeconds = 0.0;
     double throughput = 0.0;
     double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+    bool p95Valid = false, p99Valid = false;
+    /** Cache counter movement during this sweep alone. */
+    std::uint64_t cacheHits = 0, cacheMisses = 0;
 };
 
 SweepResult
-runSweep(std::uint16_t port, unsigned clients, unsigned requests,
-         const BenchOptions &bench)
+runSweep(Server &server, unsigned clients, unsigned requests,
+         SweepMode mode, unsigned cached_pct, unsigned cold_pool,
+         std::uint64_t seed_base)
 {
+    const std::uint16_t port = server.port();
+    const BenchOptions &bench = server.config().bench;
+    const ResultCache::Stats cs0 = server.cacheStats();
+
     std::vector<ClientTally> tallies(clients);
     std::vector<std::thread> threads;
     threads.reserve(clients);
@@ -164,7 +255,8 @@ runSweep(std::uint16_t port, unsigned clients, unsigned requests,
     const auto t0 = Clock::now();
     for (unsigned c = 0; c < clients; ++c)
         threads.emplace_back([&, c] {
-            tallies[c] = clientLoop(port, c, requests, bench);
+            tallies[c] = clientLoop(port, c, requests, bench, mode,
+                                    cached_pct, cold_pool, seed_base);
         });
     for (auto &t : threads)
         t.join();
@@ -180,8 +272,11 @@ runSweep(std::uint16_t port, unsigned clients, unsigned requests,
         out.completed += t.ok + t.degraded;
         out.busy += t.busy;
         out.errors += t.errors;
+        out.cachedReplies += t.cachedReplies;
+        out.coalescedReplies += t.coalescedReplies;
     }
     std::sort(lat.begin(), lat.end());
+    out.samples = lat.size();
     out.throughput =
         out.wallSeconds > 0
             ? static_cast<double>(out.completed) / out.wallSeconds
@@ -189,7 +284,74 @@ runSweep(std::uint16_t port, unsigned clients, unsigned requests,
     out.p50 = percentile(lat, 0.50);
     out.p95 = percentile(lat, 0.95);
     out.p99 = percentile(lat, 0.99);
+    out.p95Valid = out.samples >= kMinSamplesP95;
+    out.p99Valid = out.samples >= kMinSamplesP99;
+
+    const ResultCache::Stats cs1 = server.cacheStats();
+    out.cacheHits = cs1.hits - cs0.hits;
+    out.cacheMisses = cs1.misses - cs0.misses;
     return out;
+}
+
+void
+printSweepRow(const SweepResult &r)
+{
+    char p95buf[32], p99buf[32];
+    if (r.p95Valid)
+        std::snprintf(p95buf, sizeof(p95buf), "%9.1f", r.p95);
+    else
+        std::snprintf(p95buf, sizeof(p95buf), "%9s", "-");
+    if (r.p99Valid)
+        std::snprintf(p99buf, sizeof(p99buf), "%9.1f", r.p99);
+    else
+        std::snprintf(p99buf, sizeof(p99buf), "%9s", "-");
+    std::printf("%9u %10llu %12.1f %9.1f %s %s %7llu %6llu %7llu\n",
+                r.clients,
+                static_cast<unsigned long long>(r.completed),
+                r.throughput, r.p50, p95buf, p99buf,
+                static_cast<unsigned long long>(r.cachedReplies +
+                                                r.coalescedReplies),
+                static_cast<unsigned long long>(r.busy),
+                static_cast<unsigned long long>(r.errors));
+}
+
+std::string
+sweepJson(const SweepResult &r)
+{
+    std::string out = strFormat(
+        "    {\"clients\": %u, \"completed\": %llu, \"samples\": %zu, ",
+        r.clients, static_cast<unsigned long long>(r.completed),
+        r.samples);
+    out += "\"throughput_jobs_per_s\": " +
+           jsonNumber(r.throughput, 6) + ", ";
+    out += "\"p50_ms\": " + jsonNumber(r.p50, 6) + ", ";
+    out += "\"p95_ms\": " +
+           (r.p95Valid ? jsonNumber(r.p95, 6) : std::string("null")) +
+           ", ";
+    out += "\"p99_ms\": " +
+           (r.p99Valid ? jsonNumber(r.p99, 6) : std::string("null")) +
+           ", ";
+    out += strFormat(
+        "\"cached_replies\": %llu, \"coalesced_replies\": %llu, "
+        "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+        "\"busy_rejections\": %llu, \"errors\": %llu}",
+        static_cast<unsigned long long>(r.cachedReplies),
+        static_cast<unsigned long long>(r.coalescedReplies),
+        static_cast<unsigned long long>(r.cacheHits),
+        static_cast<unsigned long long>(r.cacheMisses),
+        static_cast<unsigned long long>(r.busy),
+        static_cast<unsigned long long>(r.errors));
+    return out;
+}
+
+std::vector<unsigned>
+powerOfTwoCounts(unsigned max_clients)
+{
+    std::vector<unsigned> counts;
+    for (unsigned c = 1; c < max_clients; c *= 2)
+        counts.push_back(c);
+    counts.push_back(max_clients);
+    return counts;
 }
 
 } // namespace
@@ -197,8 +359,10 @@ runSweep(std::uint16_t port, unsigned clients, unsigned requests,
 int
 main(int argc, char **argv)
 {
-    unsigned maxClients = 64;
+    unsigned maxClients = 1024;
     unsigned requests = 6;
+    unsigned cachedPct = 90;
+    unsigned coldPool = 64;
     ServerConfig scfg;
     scfg.workers = 4;
     scfg.queueCapacity = 128;
@@ -231,6 +395,14 @@ main(int argc, char **argv)
             requests = static_cast<unsigned>(uns("--requests"));
             if (requests == 0)
                 fatal("--requests must be at least 1");
+        } else if (arg == "--cached-pct") {
+            cachedPct = static_cast<unsigned>(uns("--cached-pct"));
+            if (cachedPct > 100)
+                fatal("--cached-pct must be in [0, 100]");
+        } else if (arg == "--cold-pool") {
+            coldPool = static_cast<unsigned>(uns("--cold-pool"));
+        } else if (arg == "--cache-bytes") {
+            scfg.cacheBytes = uns("--cache-bytes");
         } else if (arg == "--workers") {
             scfg.workers = static_cast<unsigned>(uns("--workers"));
             if (scfg.workers == 0)
@@ -261,38 +433,58 @@ main(int argc, char **argv)
     }
 
     std::printf("=== serve_load: chameleond closed-loop load ===\n");
-    std::printf("(workers %u, queue %zu, per-job scale 1/%llu "
-                "instr %llu; %u requests/client)\n\n",
-                scfg.workers, scfg.queueCapacity,
+    std::printf("(workers %u, queue %zu, cache %zu B, per-job scale "
+                "1/%llu instr %llu; %u requests/client, %u%% cached "
+                "mix, cold pool %u)\n\n",
+                scfg.workers, scfg.queueCapacity, scfg.cacheBytes,
                 static_cast<unsigned long long>(scfg.bench.scale),
                 static_cast<unsigned long long>(
                     scfg.bench.instrPerCore),
-                requests);
+                requests, cachedPct, coldPool);
 
     Server server(std::move(scfg));
     server.start();
-    const std::uint16_t port = server.port();
 
-    // Client sweep: powers of two up to --max-clients (inclusive).
-    std::vector<unsigned> counts;
-    for (unsigned c = 1; c < maxClients; c *= 2)
-        counts.push_back(c);
-    counts.push_back(maxClients);
+    const char *header =
+        "  clients  completed       jobs/s    p50 ms    p95 ms "
+        "   p99 ms  cached   busy  errors\n";
 
-    std::printf("%9s %10s %12s %9s %9s %9s %6s %7s\n", "clients",
-                "completed", "jobs/s", "p50 ms", "p95 ms", "p99 ms",
-                "busy", "errors");
-    std::vector<SweepResult> sweeps;
-    for (unsigned clients : counts) {
+    // Phase 1: uncached baseline (noCache + unique seeds). The top
+    // of this sweep is capped at 64 clients — it exists to compare
+    // the raw simulation path against the PR 5 thread-per-connection
+    // numbers, not to melt the worker pool at 1024.
+    const unsigned uncachedMax = std::min(maxClients, 64u);
+    std::printf("--- uncached baseline (noCache, unique seeds) ---\n");
+    std::fputs(header, stdout);
+    std::vector<SweepResult> uncachedSweeps;
+    std::uint64_t seedBase = 1;
+    for (unsigned clients : powerOfTwoCounts(uncachedMax)) {
         const SweepResult r =
-            runSweep(port, clients, requests, server.config().bench);
-        std::printf("%9u %10llu %12.1f %9.1f %9.1f %9.1f %6llu %7llu\n",
-                    r.clients,
-                    static_cast<unsigned long long>(r.completed),
-                    r.throughput, r.p50, r.p95, r.p99,
-                    static_cast<unsigned long long>(r.busy),
-                    static_cast<unsigned long long>(r.errors));
-        sweeps.push_back(r);
+            runSweep(server, clients, requests, SweepMode::Uncached,
+                     cachedPct, coldPool, seedBase);
+        printSweepRow(r);
+        uncachedSweeps.push_back(r);
+        // Fresh seeds each sweep keep every uncached job unique.
+        seedBase += static_cast<std::uint64_t>(clients) * 1000 +
+                    coldPool + 1;
+    }
+
+    // Phase 2: cached mix up to --max-clients. Hot-set requests are
+    // misses (then single-flight coalesces) during warmup and cache
+    // hits afterwards; the cold-pool tail keeps the workers honest
+    // while still repeating specs the way a real fleet does.
+    std::printf("\n--- cached mix (%u%% hot set, cold pool %u) ---\n",
+                cachedPct, coldPool);
+    std::fputs(header, stdout);
+    std::vector<SweepResult> cachedSweeps;
+    for (unsigned clients : powerOfTwoCounts(maxClients)) {
+        const SweepResult r =
+            runSweep(server, clients, requests, SweepMode::Mixed,
+                     cachedPct, coldPool, seedBase);
+        printSweepRow(r);
+        cachedSweeps.push_back(r);
+        seedBase += static_cast<std::uint64_t>(clients) * 1000 +
+                    coldPool + 1;
     }
 
     // Drain under load: relaunch the full client fleet, then request
@@ -307,11 +499,13 @@ main(int argc, char **argv)
         server.awaitDrained();
         drainDone.store(true);
     });
-    const SweepResult drainSweep = runSweep(
-        port, maxClients, requests, server.config().bench);
+    const SweepResult drainSweep =
+        runSweep(server, maxClients, requests, SweepMode::Mixed,
+                 cachedPct, coldPool, seedBase);
     drainer.join();
 
     const ServerStats st = server.stats();
+    const ResultCache::Stats cache = server.cacheStats();
     const bool lost = st.lostJobs() != 0;
     std::printf("drain: accepted=%llu terminal=%llu lost=%llu "
                 "rejected_draining=%llu drained=%s\n",
@@ -320,12 +514,25 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(st.lostJobs()),
                 static_cast<unsigned long long>(st.rejectedDraining),
                 drainDone.load() ? "yes" : "no");
+    std::printf("cache: hits=%llu misses=%llu coalesced=%llu "
+                "insertions=%llu evictions=%llu entries=%zu "
+                "bytes=%zu\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                static_cast<unsigned long long>(cache.coalesced),
+                static_cast<unsigned long long>(cache.insertions),
+                static_cast<unsigned long long>(cache.evictions),
+                cache.entries, cache.bytes);
 
     server.stop();
 
     std::string out = "{\n";
-    out += "  \"schema\": \"chameleon-serve-load-v1\",\n";
+    out += "  \"schema\": \"chameleon-serve-load-v2\",\n";
     out += strFormat("  \"workers\": %u,\n", server.config().workers);
+    out += strFormat("  \"cache_bytes\": %zu,\n",
+                     server.config().cacheBytes);
+    out += strFormat("  \"cached_pct\": %u,\n", cachedPct);
+    out += strFormat("  \"cold_pool\": %u,\n", coldPool);
     out += strFormat(
         "  \"job\": {\"scale\": %llu, \"instr_per_core\": %llu, "
         "\"min_refs_per_core\": %llu},\n",
@@ -335,24 +542,30 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(
             server.config().bench.minRefsPerCore));
     out += strFormat("  \"requests_per_client\": %u,\n", requests);
-    out += "  \"sweeps\": [\n";
-    for (std::size_t i = 0; i < sweeps.size(); ++i) {
-        const SweepResult &r = sweeps[i];
-        out += strFormat(
-            "    {\"clients\": %u, \"completed\": %llu, ", r.clients,
-            static_cast<unsigned long long>(r.completed));
-        out += "\"throughput_jobs_per_s\": " +
-               jsonNumber(r.throughput, 6) + ", ";
-        out += "\"p50_ms\": " + jsonNumber(r.p50, 6) + ", ";
-        out += "\"p95_ms\": " + jsonNumber(r.p95, 6) + ", ";
-        out += "\"p99_ms\": " + jsonNumber(r.p99, 6) + ", ";
-        out += strFormat("\"busy_rejections\": %llu, "
-                         "\"errors\": %llu}",
-                         static_cast<unsigned long long>(r.busy),
-                         static_cast<unsigned long long>(r.errors));
-        out += (i + 1 < sweeps.size()) ? ",\n" : "\n";
+    out += "  \"uncached_sweeps\": [\n";
+    for (std::size_t i = 0; i < uncachedSweeps.size(); ++i) {
+        out += sweepJson(uncachedSweeps[i]);
+        out += (i + 1 < uncachedSweeps.size()) ? ",\n" : "\n";
     }
     out += "  ],\n";
+    out += "  \"cached_sweeps\": [\n";
+    for (std::size_t i = 0; i < cachedSweeps.size(); ++i) {
+        out += sweepJson(cachedSweeps[i]);
+        out += (i + 1 < cachedSweeps.size()) ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+    out += strFormat(
+        "  \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+        "\"coalesced\": %llu, \"insertions\": %llu, "
+        "\"evictions\": %llu, \"oversized\": %llu, "
+        "\"entries\": %zu, \"bytes\": %zu},\n",
+        static_cast<unsigned long long>(cache.hits),
+        static_cast<unsigned long long>(cache.misses),
+        static_cast<unsigned long long>(cache.coalesced),
+        static_cast<unsigned long long>(cache.insertions),
+        static_cast<unsigned long long>(cache.evictions),
+        static_cast<unsigned long long>(cache.oversized),
+        cache.entries, cache.bytes);
     out += strFormat(
         "  \"drain_under_load\": {\"clients\": %u, "
         "\"accepted\": %llu, \"terminal\": %llu, \"lost\": %llu, "
@@ -367,7 +580,10 @@ main(int argc, char **argv)
                      static_cast<unsigned long long>(
                          [&] {
                              std::uint64_t e = drainSweep.errors;
-                             for (const SweepResult &r : sweeps)
+                             for (const SweepResult &r :
+                                  uncachedSweeps)
+                                 e += r.errors;
+                             for (const SweepResult &r : cachedSweeps)
                                  e += r.errors;
                              return e;
                          }()));

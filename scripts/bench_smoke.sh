@@ -20,6 +20,12 @@
 # snapshot metrics, then SIGTERM it under a drain and require exit 0
 # with zero lost jobs.
 #
+# With CHAM_TSAN_BIN_DIR set to a ThreadSanitizer build tree (cmake
+# --preset tsan && cmake --build --preset tsan) it additionally runs
+# the concurrency-heavy serve suites (test_serve, test_result_cache)
+# under TSan, so epoll-loop / worker-pool / cache races fail the
+# smoke run rather than only surfacing as rare production hangs.
+#
 # Usage: bench_smoke.sh <fig15_hitrate> [micro_core]
 #                       [chameleond] [chameleonctl]
 set -eu
@@ -213,5 +219,25 @@ if [ -n "$DAEMON" ] && [ -n "$CTL" ]; then
         exit 1
     }
     rm -f "$DLOG"
+fi
+
+# ThreadSanitizer stage (opt-in: CHAM_TSAN_BIN_DIR points at a tsan
+# preset build tree). Runs the serve + result-cache suites, the two
+# with real cross-thread traffic: epoll I/O thread vs worker pool vs
+# client threads, and the shared result cache under single-flight.
+if [ -n "${CHAM_TSAN_BIN_DIR:-}" ]; then
+    for t in test_serve test_result_cache; do
+        TBIN="$CHAM_TSAN_BIN_DIR/tests/$t"
+        [ -x "$TBIN" ] || {
+            echo "bench_smoke: $TBIN missing; build the tsan preset" >&2
+            exit 1
+        }
+        TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+ $TSAN_OPTIONS}" \
+            "$TBIN" --gtest_brief=1 || {
+            echo "bench_smoke: $t failed under TSan" >&2
+            exit 1
+        }
+    done
+    echo "bench_smoke: TSan serve suites clean"
 fi
 echo "bench_smoke: OK"

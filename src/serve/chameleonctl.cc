@@ -8,6 +8,7 @@
  *   submit --design D --app A [--seed N] [--scale N] [--instr N]
  *          [--refs N] [--faults R] [--fault-stuck F]
  *          [--fault-spikes R] [--oracle] [--deadline MS] [--wait MS]
+ *          [--no-cache]
  *       Submit one run. With --wait, block for the result and print
  *       it as one JSON line; exits 0 for ok/degraded, 3 for
  *       failed/timeout, 4 when the wait expired non-terminal.
@@ -73,6 +74,10 @@ printResult(const JobResultReply &r)
         static_cast<unsigned long long>(r.jobId),
         jsonQuote(jobStateLabel(r.state)).c_str());
     out += jsonNumber(r.wallSeconds, 6);
+    if (r.cacheFlags & kResultFromCache)
+        out += ",\"cached\":true";
+    if (r.cacheFlags & kResultCoalesced)
+        out += ",\"coalesced\":true";
     if (!r.error.empty())
         out += ",\"error\":" + jsonQuote(r.error);
     if (r.state == JobState::Ok || r.state == JobState::Degraded) {
@@ -197,6 +202,8 @@ main(int argc, char **argv)
                     ++i;
                 } else if (arg == "--oracle") {
                     req.oracle = true;
+                } else if (arg == "--no-cache") {
+                    req.noCache = true;
                 } else if (arg == "--deadline") {
                     req.deadlineMs = static_cast<std::uint32_t>(
                         parseUnsigned("--deadline", val));

@@ -8,7 +8,8 @@
  * if no accepted job was lost.
  *
  *   chameleond [--port N] [--workers N] [--queue N] [--deadline MS]
- *              [--scale N] [--instr N] [--refs N] [--quiet]
+ *              [--cache-bytes N] [--scale N] [--instr N] [--refs N]
+ *              [--quiet]
  *
  * The one line the tooling depends on (bench_smoke.sh and the serve
  * load generator parse it to discover an ephemeral port):
@@ -93,6 +94,10 @@ main(int argc, char **argv)
         } else if (arg == "--deadline") {
             cfg.defaultDeadlineMs = static_cast<std::uint32_t>(
                 parseUnsigned("--deadline", val));
+            ++i;
+        } else if (arg == "--cache-bytes") {
+            // 0 disables the result cache entirely.
+            cfg.cacheBytes = parseUnsigned("--cache-bytes", val);
             ++i;
         } else if (arg == "--scale") {
             const std::uint64_t v = parseUnsigned("--scale", val);

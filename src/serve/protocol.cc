@@ -268,6 +268,7 @@ encodeSubmitRun(const SubmitRunRequest &m)
     w.f64(m.faultStuck);
     w.f64(m.faultSpikes);
     w.u8(m.oracle ? 1 : 0);
+    w.u8(m.noCache ? 1 : 0);
     w.u32(m.deadlineMs);
     return w.take();
 }
@@ -277,12 +278,15 @@ decodeSubmitRun(const std::vector<std::uint8_t> &p, SubmitRunRequest &m)
 {
     WireReader r(p);
     std::uint8_t oracle = 0;
+    std::uint8_t no_cache = 0;
     const bool ok = r.str(m.design) && r.str(m.app) && r.u64(m.seed) &&
                     r.u64(m.scale) && r.u64(m.instrPerCore) &&
                     r.u64(m.minRefsPerCore) && r.f64(m.faultRate) &&
                     r.f64(m.faultStuck) && r.f64(m.faultSpikes) &&
-                    r.u8(oracle) && r.u32(m.deadlineMs);
+                    r.u8(oracle) && r.u8(no_cache) &&
+                    r.u32(m.deadlineMs);
     m.oracle = oracle != 0;
+    m.noCache = no_cache != 0;
     return ok && r.atEnd();
 }
 
@@ -408,6 +412,7 @@ encodeJobResultReply(const JobResultReply &m)
     w.u64(m.retiredSegments);
     w.u64(m.retiredBytes);
     w.u64(m.degradedCycles);
+    w.u8(m.cacheFlags);
     return w.take();
 }
 
@@ -427,7 +432,8 @@ decodeJobResultReply(const std::vector<std::uint8_t> &p,
         r.u64(m.makespan) && r.u64(m.eccCorrected) &&
         r.u64(m.eccUncorrectable) && r.u64(m.faultSpikes) &&
         r.u64(m.faultTimeouts) && r.u64(m.retiredSegments) &&
-        r.u64(m.retiredBytes) && r.u64(m.degradedCycles);
+        r.u64(m.retiredBytes) && r.u64(m.degradedCycles) &&
+        r.u8(m.cacheFlags);
     if (!ok || !r.atEnd() || state > 5)
         return false;
     m.state = static_cast<JobState>(state);

@@ -56,7 +56,9 @@ namespace chameleon::serve
 {
 
 constexpr std::uint32_t kFrameMagic = 0x434D4844;
-constexpr std::uint16_t kProtocolVersion = 1;
+/** v2: SubmitRun carries a no_cache flag, JobResultReply carries
+ *  cache flags (served-from-cache / coalesced). */
+constexpr std::uint16_t kProtocolVersion = 2;
 constexpr std::size_t kFrameHeaderBytes = 12;
 /** Hard payload cap: anything larger is rejected before allocation. */
 constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
@@ -214,6 +216,12 @@ struct SubmitRunRequest
     double faultStuck = 0.0;
     double faultSpikes = 0.0;
     bool oracle = false;
+    /**
+     * Bypass the server's result cache for this job: always run the
+     * simulation, never insert the outcome. Deliberately excluded
+     * from the cache key — it steers serving, not simulation.
+     */
+    bool noCache = false;
     /** Per-job wall-clock deadline, ms; 0 = server default. */
     std::uint32_t deadlineMs = 0;
 };
@@ -245,6 +253,10 @@ struct JobResultRequest
     std::uint32_t waitMs = 0;
 };
 
+/** JobResultReply::cacheFlags bits. */
+constexpr std::uint8_t kResultFromCache = 1; ///< answered by cache hit
+constexpr std::uint8_t kResultCoalesced = 2; ///< rode an in-flight twin
+
 /** Terminal (or, after a wait expires, interim) job outcome. */
 struct JobResultReply
 {
@@ -273,6 +285,8 @@ struct JobResultReply
     std::uint64_t retiredSegments = 0;
     std::uint64_t retiredBytes = 0;
     std::uint64_t degradedCycles = 0;
+    /** kResultFromCache / kResultCoalesced provenance bits. */
+    std::uint8_t cacheFlags = 0;
 };
 
 /** Copy the RunResult scalars into a reply. */

@@ -1,0 +1,207 @@
+#include "serve/result_cache.hh"
+
+namespace chameleon::serve
+{
+
+namespace
+{
+
+/** Per-entry bookkeeping charged on top of the encoded frame. */
+constexpr std::size_t kEntryOverheadBytes = 128;
+
+void
+putLabeled(WireWriter &w, const char *label)
+{
+    w.str(label);
+}
+
+void
+putF64Canonical(WireWriter &w, double v)
+{
+    // -0.0 and +0.0 are the same fault configuration; normalize so
+    // they hash identically.
+    w.f64(v == 0.0 ? 0.0 : v);
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+canonicalJobSpec(const SubmitRunRequest &req)
+{
+    // Fixed field order, every field present (defaults included),
+    // every field preceded by its label. deadlineMs and noCache are
+    // deliberately absent: they steer serving, not simulation.
+    WireWriter w;
+    putLabeled(w, "design");
+    w.str(req.design);
+    putLabeled(w, "app");
+    w.str(req.app);
+    putLabeled(w, "seed");
+    w.u64(req.seed);
+    putLabeled(w, "scale");
+    w.u64(req.scale);
+    putLabeled(w, "instr_per_core");
+    w.u64(req.instrPerCore);
+    putLabeled(w, "min_refs_per_core");
+    w.u64(req.minRefsPerCore);
+    putLabeled(w, "fault_rate");
+    putF64Canonical(w, req.faultRate);
+    putLabeled(w, "fault_stuck");
+    putF64Canonical(w, req.faultStuck);
+    putLabeled(w, "fault_spikes");
+    putF64Canonical(w, req.faultSpikes);
+    putLabeled(w, "oracle");
+    w.u8(req.oracle ? 1 : 0);
+    return w.take();
+}
+
+std::uint64_t
+fnv1a64(const std::uint8_t *data, std::size_t size)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= data[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::uint64_t
+cacheKey(const SubmitRunRequest &req)
+{
+    const std::vector<std::uint8_t> canon = canonicalJobSpec(req);
+    return fnv1a64(canon.data(), canon.size());
+}
+
+std::uint32_t
+cacheShard(std::uint64_t key)
+{
+    // Top bits: adding shards (doubling kCacheShards) splits each
+    // shard in two instead of remapping every key — the consistent-
+    // hashing property the multi-daemon deployment relies on.
+    return static_cast<std::uint32_t>(key >> 56) % kCacheShards;
+}
+
+std::size_t
+cachedResultBytes(const CachedResult &value)
+{
+    JobResultReply reply;
+    reply.state = value.state;
+    reply.wallSeconds = value.wallSeconds;
+    fillResultReply(reply, value.result);
+    return encodeJobResultReply(reply).size() + kEntryOverheadBytes;
+}
+
+ResultCache::ResultCache(std::size_t byte_budget) : budget(byte_budget)
+{
+}
+
+bool
+ResultCache::lookup(std::uint64_t key, CachedResult &out)
+{
+    if (budget == 0)
+        return false;
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = map.find(key);
+    if (it == map.end()) {
+        ++counters.misses;
+        return false;
+    }
+    lru.splice(lru.begin(), lru, it->second);
+    out = it->second->value;
+    ++counters.hits;
+    return true;
+}
+
+void
+ResultCache::evictFor(std::size_t incoming_bytes)
+{
+    while (!lru.empty() && counters.bytes + incoming_bytes > budget) {
+        const Entry &cold = lru.back();
+        counters.bytes -= cold.bytes;
+        --counters.entries;
+        ++counters.evictions;
+        map.erase(cold.key);
+        lru.pop_back();
+    }
+}
+
+void
+ResultCache::insert(std::uint64_t key, CachedResult value)
+{
+    if (budget == 0)
+        return;
+    const std::size_t bytes = cachedResultBytes(value);
+    std::lock_guard<std::mutex> lock(mu);
+    if (bytes > budget) {
+        ++counters.oversized;
+        return;
+    }
+    const auto it = map.find(key);
+    if (it != map.end()) {
+        // Replace in place (deterministic sims make this a no-op in
+        // practice, but stay correct if budgets or codecs change).
+        counters.bytes -= it->second->bytes;
+        lru.erase(it->second);
+        map.erase(it);
+        --counters.entries;
+    }
+    evictFor(bytes);
+    Entry entry;
+    entry.key = key;
+    entry.value = std::move(value);
+    entry.bytes = bytes;
+    entry.shard = cacheShard(key);
+    lru.push_front(std::move(entry));
+    map[key] = lru.begin();
+    counters.bytes += bytes;
+    ++counters.entries;
+    ++counters.insertions;
+}
+
+void
+ResultCache::noteCoalesced()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ++counters.coalesced;
+}
+
+std::size_t
+ResultCache::invalidateShard(std::uint32_t shard)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::size_t dropped = 0;
+    for (auto it = lru.begin(); it != lru.end();) {
+        if (it->shard != shard) {
+            ++it;
+            continue;
+        }
+        counters.bytes -= it->bytes;
+        --counters.entries;
+        ++counters.evictions;
+        map.erase(it->key);
+        it = lru.erase(it);
+        ++dropped;
+    }
+    return dropped;
+}
+
+void
+ResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    counters.evictions += lru.size();
+    counters.entries = 0;
+    counters.bytes = 0;
+    map.clear();
+    lru.clear();
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return counters;
+}
+
+} // namespace chameleon::serve

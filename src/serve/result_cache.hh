@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Content-addressed result cache for chameleond.
+ *
+ * Simulations are seeded-deterministic: the same canonical job spec
+ * (design, app, seed, scale, instruction/reference budgets, fault
+ * configuration, oracle flag) always produces the same RunResult. A
+ * repeated job — the common case for a large fleet replaying standard
+ * configurations — can therefore be answered from a cache in
+ * microseconds instead of re-simulating for milliseconds.
+ *
+ * Keying: cacheKey() hashes (FNV-1a, 64-bit) a *canonical* encoding
+ * of the job spec built by canonicalJobSpec(). The canonical form
+ *
+ *  - writes every result-affecting field, in one fixed order, each
+ *    preceded by a length-prefixed field label — so the key does not
+ *    depend on how the request was populated or wire-encoded, and
+ *    defaulted fields hash identically to explicitly-set ones;
+ *  - length-prefixes strings, so ("ab","c") can never collide with
+ *    ("a","bc");
+ *  - normalizes -0.0 to +0.0 before hashing doubles;
+ *  - excludes fields that cannot change the simulation output
+ *    (deadlineMs, the noCache flag, client wait budgets).
+ *
+ * The key space is partitioned by consistent hashing (kCacheShards
+ * virtual shards per entry, selected by the top bits of the key) so a
+ * future multi-daemon deployment can map shards to daemons and a
+ * capacity change invalidates only a proportional share of the keys —
+ * the same argument Chang et al. make for resizable DRAM caches.
+ * Within this single-daemon cache the shard id is carried per entry
+ * and exposed through stats(); invalidateShard() drops exactly one
+ * shard's entries.
+ *
+ * Storage: bounded LRU over the encoded result frames. Each entry
+ * accounts the bytes of its encoded JobResultReply payload plus a
+ * fixed bookkeeping overhead; inserts evict from the cold end until
+ * the byte budget holds. Entries above the whole budget are refused.
+ *
+ * Thread-safety: every public method takes an internal mutex; the
+ * cache is shared by the I/O thread (lookups at admission) and the
+ * worker pool (inserts at completion).
+ */
+
+#ifndef CHAMELEON_SERVE_RESULT_CACHE_HH
+#define CHAMELEON_SERVE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/protocol.hh"
+
+namespace chameleon::serve
+{
+
+/** Virtual shards the key space is partitioned into. */
+constexpr std::uint32_t kCacheShards = 64;
+
+/**
+ * Canonical byte encoding of the result-affecting job-spec fields.
+ * Two requests get the same encoding iff the simulator would produce
+ * the same result for both.
+ */
+std::vector<std::uint8_t> canonicalJobSpec(const SubmitRunRequest &req);
+
+/** FNV-1a (64-bit) over canonicalJobSpec(). */
+std::uint64_t cacheKey(const SubmitRunRequest &req);
+
+/** FNV-1a (64-bit) over an arbitrary byte string. */
+std::uint64_t fnv1a64(const std::uint8_t *data, std::size_t size);
+
+/** Consistent-hash shard of a key (top bits, stable under resize). */
+std::uint32_t cacheShard(std::uint64_t key);
+
+/** One cached terminal outcome (Ok or Degraded only). */
+struct CachedResult
+{
+    JobState state = JobState::Ok;
+    RunResult result;
+    /** Wall seconds the original simulation cost. */
+    double wallSeconds = 0.0;
+};
+
+class ResultCache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;
+        /** Jobs answered by piggybacking on an in-flight twin. */
+        std::uint64_t coalesced = 0;
+        /** Refused inserts (entry alone exceeds the budget). */
+        std::uint64_t oversized = 0;
+        std::uint64_t entries = 0;
+        std::uint64_t bytes = 0;
+    };
+
+    /** @p byte_budget 0 disables the cache entirely. */
+    explicit ResultCache(std::size_t byte_budget);
+
+    bool enabled() const { return budget > 0; }
+    std::size_t byteBudget() const { return budget; }
+
+    /**
+     * Look @p key up; on a hit copies the entry into @p out, bumps it
+     * to the hot end and counts a hit, otherwise counts a miss.
+     */
+    bool lookup(std::uint64_t key, CachedResult &out);
+
+    /**
+     * Insert (or replace) @p key. Evicts cold entries until the byte
+     * budget holds; an entry that alone exceeds the budget is
+     * refused and counted as oversized.
+     */
+    void insert(std::uint64_t key, CachedResult value);
+
+    /** Count one single-flight coalesce (bookkept here so the
+     *  hit/miss/coalesce triple lives in one place). */
+    void noteCoalesced();
+
+    /** Drop every entry in consistent-hash shard @p shard. */
+    std::size_t invalidateShard(std::uint32_t shard);
+
+    /** Drop everything (counts as evictions). */
+    void clear();
+
+    Stats stats() const;
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key = 0;
+        CachedResult value;
+        std::size_t bytes = 0;
+        std::uint32_t shard = 0;
+    };
+
+    /** Caller holds mu. Evict the LRU tail until budget holds. */
+    void evictFor(std::size_t incoming_bytes);
+
+    mutable std::mutex mu;
+    std::size_t budget;
+    /** Front = most recently used. */
+    std::list<Entry> lru;
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map;
+    Stats counters;
+};
+
+/**
+ * Bytes an entry for @p value accounts against the budget: the
+ * encoded JobResultReply payload size plus fixed bookkeeping.
+ */
+std::size_t cachedResultBytes(const CachedResult &value);
+
+} // namespace chameleon::serve
+
+#endif // CHAMELEON_SERVE_RESULT_CACHE_HH

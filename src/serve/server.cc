@@ -6,6 +6,7 @@
 
 #include <arpa/inet.h>
 #include <fcntl.h>
+#include <sys/epoll.h>
 
 #include "common/json.hh"
 #include "common/log.hh"
@@ -35,17 +36,27 @@ errorFrame(ErrCode code, std::string message)
     return encodeFrame(MsgType::Error, encodeError(err));
 }
 
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
 /** Terminal jobs older than this many newer jobs are evicted. */
 constexpr std::size_t kMaxRetainedJobs = 8192;
 
 } // namespace
 
-Server::Server(ServerConfig config) : cfg(std::move(config))
+Server::Server(ServerConfig config)
+    : cfg(std::move(config)), cache(cfg.cacheBytes)
 {
     if (cfg.workers == 0)
         cfg.workers = 1;
     if (cfg.queueCapacity == 0)
         cfg.queueCapacity = 1;
+    if (cfg.connBacklogBytes == 0)
+        cfg.connBacklogBytes = 1u << 16;
     registerMetrics();
 }
 
@@ -80,11 +91,12 @@ Server::start()
                       static_cast<unsigned>(cfg.port),
                       std::strerror(errno)));
     }
-    if (::listen(listenFd, 128) != 0) {
+    if (::listen(listenFd, 1024) != 0) {
         ::close(listenFd);
         listenFd = -1;
         throw std::runtime_error("serve: listen() failed");
     }
+    setNonBlocking(listenFd);
 
     socklen_t len = sizeof(addr);
     if (::getsockname(listenFd, reinterpret_cast<sockaddr *>(&addr),
@@ -100,14 +112,31 @@ Server::start()
         listenFd = -1;
         throw std::runtime_error("serve: pipe() failed");
     }
+    setNonBlocking(wakePipe[0]);
+    setNonBlocking(wakePipe[1]);
+
+    epollFd = ::epoll_create1(0);
+    if (epollFd < 0) {
+        ::close(listenFd);
+        listenFd = -1;
+        throw std::runtime_error("serve: epoll_create1() failed");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listenFd;
+    ::epoll_ctl(epollFd, EPOLL_CTL_ADD, listenFd, &ev);
+    ev.data.fd = wakePipe[0];
+    ::epoll_ctl(epollFd, EPOLL_CTL_ADD, wakePipe[0], &ev);
 
     startedAt = Clock::now();
     stopFlag.store(false, std::memory_order_release);
     stateFlag.store(ServerStateKind::Serving,
                     std::memory_order_release);
-    acceptThread = std::thread([this] { acceptLoop(); });
+    // Workers first: the I/O thread's reap tick may append
+    // replacement workers to the same vector once jobs are running.
     for (unsigned i = 0; i < cfg.workers; ++i)
         workers.emplace_back([this] { workerLoop(); });
+    ioThread = std::thread([this] { ioLoop(); });
 }
 
 void
@@ -144,34 +173,24 @@ Server::stop()
     stopFlag.store(true, std::memory_order_release);
     stateFlag.store(ServerStateKind::Stopped,
                     std::memory_order_release);
-    if (wakePipe[1] >= 0) {
-        const char byte = 'x';
-        [[maybe_unused]] ssize_t n = ::write(wakePipe[1], &byte, 1);
-    }
+    wakeIo();
     cvWork.notify_all();
     cvJobs.notify_all();
 
-    if (acceptThread.joinable())
-        acceptThread.join();
-
-    {
-        std::lock_guard<std::mutex> lock(mtx);
-        for (int fd : connectionFds)
-            if (fd >= 0)
-                ::shutdown(fd, SHUT_RDWR);
-    }
-    for (std::thread &t : connections)
-        if (t.joinable())
-            t.join();
+    if (ioThread.joinable())
+        ioThread.join();
     for (std::thread &t : workers)
         if (t.joinable())
             t.join();
-    connections.clear();
     workers.clear();
 
     if (listenFd >= 0) {
         ::close(listenFd);
         listenFd = -1;
+    }
+    if (epollFd >= 0) {
+        ::close(epollFd);
+        epollFd = -1;
     }
     for (int &fd : wakePipe) {
         if (fd >= 0)
@@ -187,150 +206,331 @@ Server::stats() const
     return counters;
 }
 
+// -------------------------------------------------------------------
+// I/O thread: epoll event loop
+// -------------------------------------------------------------------
+
 void
-Server::acceptLoop()
+Server::wakeIo()
 {
+    if (wakePipe[1] < 0)
+        return;
+    const char byte = 'x';
+    // Nonblocking: a full pipe already guarantees a pending wakeup.
+    [[maybe_unused]] ssize_t n = ::write(wakePipe[1], &byte, 1);
+}
+
+void
+Server::ioLoop()
+{
+    epoll_event events[128];
     while (!stopFlag.load(std::memory_order_acquire)) {
-        pollfd fds[2];
-        fds[0] = {listenFd, POLLIN, 0};
-        fds[1] = {wakePipe[0], POLLIN, 0};
-        const int rc = ::poll(fds, 2, 100);
+        const int n = ::epoll_wait(epollFd, events, 128, 100);
+        if (n < 0 && errno != EINTR)
+            break;
+        for (int i = 0; i < n; ++i) {
+            const int fd = events[i].data.fd;
+            const std::uint32_t ev = events[i].events;
+            if (fd == listenFd) {
+                acceptReady();
+                continue;
+            }
+            if (fd == wakePipe[0]) {
+                std::uint8_t buf[256];
+                while (::read(wakePipe[0], buf, sizeof(buf)) > 0) {
+                }
+                continue;
+            }
+            const auto it = conns.find(fd);
+            if (it == conns.end())
+                continue;
+            if (ev & (EPOLLERR | EPOLLHUP)) {
+                closeConn(fd);
+                continue;
+            }
+            bool alive = true;
+            if (ev & EPOLLIN)
+                alive = readConn(it->second);
+            if (alive && (ev & EPOLLOUT)) {
+                // Re-find: readConn may have closed and a completion
+                // pump does not run between, but stay defensive.
+                const auto jt = conns.find(fd);
+                if (jt != conns.end())
+                    flushConn(jt->second);
+            }
+        }
+        pumpCompletions();
         reapOverdueJobs();
-        if (rc <= 0)
-            continue;
-        if (!(fds[0].revents & POLLIN))
-            continue;
-        const int fd = ::accept(listenFd, nullptr, nullptr);
-        if (fd < 0)
-            continue;
+    }
+    for (auto &[fd, conn] : conns)
+        ::close(fd);
+    conns.clear();
+}
+
+void
+Server::acceptReady()
+{
+    for (;;) {
+        const int fd =
+            ::accept4(listenFd, nullptr, nullptr, SOCK_NONBLOCK);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // EAGAIN, or a transient per-connection error
+        }
         setNoDelay(fd);
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        if (::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+            ::close(fd);
+            continue;
+        }
+        Conn conn;
+        conn.fd = fd;
+        conns.emplace(fd, std::move(conn));
         std::lock_guard<std::mutex> lock(mtx);
         ++counters.connections;
-        connectionFds.push_back(fd);
-        connections.emplace_back(
-            [this, fd] { connectionLoop(fd); });
     }
 }
 
 void
-Server::connectionLoop(int fd)
+Server::closeConn(int fd)
 {
-    std::vector<std::uint8_t> buf;
-    std::uint8_t chunk[16384];
-
-    auto bump_bad_frames = [this] {
+    const auto it = conns.find(fd);
+    if (it == conns.end())
+        return;
+    ::epoll_ctl(epollFd, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    conns.erase(it);
+    {
+        // Parked waits die with their connection.
         std::lock_guard<std::mutex> lock(mtx);
-        ++counters.badFrames;
-    };
+        waiters.erase(std::remove_if(waiters.begin(), waiters.end(),
+                                     [fd](const Waiter &w) {
+                                         return w.fd == fd;
+                                     }),
+                      waiters.end());
+    }
+    {
+        // Drop undelivered completions so a recycled fd can never
+        // receive a previous connection's reply.
+        std::lock_guard<std::mutex> lock(ioMtx);
+        for (auto &entry : ioQueue)
+            if (entry.first == fd)
+                entry.first = -1;
+    }
+}
 
-    bool open = true;
-    while (open && !stopFlag.load(std::memory_order_acquire)) {
-        pollfd pfd{fd, POLLIN, 0};
-        const int rc = ::poll(&pfd, 1, 200);
-        if (rc <= 0)
-            continue;
-        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+void
+Server::armWrite(Conn &conn, bool enable)
+{
+    epoll_event ev{};
+    ev.events = EPOLLIN | (enable ? EPOLLOUT : 0u);
+    ev.data.fd = conn.fd;
+    ::epoll_ctl(epollFd, EPOLL_CTL_MOD, conn.fd, &ev);
+    conn.wantWrite = enable;
+}
+
+bool
+Server::flushConn(Conn &conn)
+{
+    while (!conn.tx.empty()) {
+        const std::vector<std::uint8_t> &front = conn.tx.front();
+        const ssize_t n = ::send(conn.fd,
+                                 front.data() + conn.txOffset,
+                                 front.size() - conn.txOffset,
+#ifdef MSG_NOSIGNAL
+                                 MSG_NOSIGNAL
+#else
+                                 0
+#endif
+        );
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            break;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break;
+            closeConn(conn.fd);
+            return false;
         }
-        if (n == 0)
-            break;
-        buf.insert(buf.end(), chunk, chunk + n);
+        conn.txOffset += static_cast<std::size_t>(n);
+        conn.txBytes -= static_cast<std::size_t>(n);
+        if (conn.txOffset == front.size()) {
+            conn.tx.pop_front();
+            conn.txOffset = 0;
+        }
+    }
+    if (conn.tx.empty()) {
+        if (conn.wantWrite)
+            armWrite(conn, false);
+        if (conn.closing) {
+            closeConn(conn.fd);
+            return false;
+        }
+    } else if (!conn.wantWrite) {
+        armWrite(conn, true);
+    }
+    return true;
+}
+
+bool
+Server::queueSend(Conn &conn, std::vector<std::uint8_t> bytes)
+{
+    conn.txBytes += bytes.size();
+    conn.tx.push_back(std::move(bytes));
+    if (!flushConn(conn))
+        return false;
+    if (conn.txBytes > cfg.connBacklogBytes) {
+        // The peer stopped reading; dropping it keeps the loop and
+        // every other connection unaffected.
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            ++counters.droppedSlowConns;
+        }
+        closeConn(conn.fd);
+        return false;
+    }
+    return true;
+}
+
+bool
+Server::readConn(Conn &conn)
+{
+    std::uint8_t chunk[16384];
+    for (;;) {
+        const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return true;
+            closeConn(conn.fd);
+            return false;
+        }
+        if (n == 0) {
+            if (conn.closing && conn.txBytes > 0)
+                return true; // error reply still flushing
+            closeConn(conn.fd);
+            return false;
+        }
+        if (conn.closing)
+            continue; // discard input after a protocol-fatal error
+        conn.rx.insert(conn.rx.end(), chunk, chunk + n);
 
         // Drain every complete frame in the buffer; a malformed
-        // stream gets one typed error reply, never a crash or a
-        // dropped connection without explanation.
+        // stream gets one typed error reply, never a crash and never
+        // a silently dropped connection.
         std::size_t off = 0;
-        while (open) {
+        while (true) {
             Frame frame;
             std::size_t consumed = 0;
-            const FrameStatus st = decodeFrame(
-                buf.data() + off, buf.size() - off, frame, consumed);
+            const FrameStatus st =
+                decodeFrame(conn.rx.data() + off,
+                            conn.rx.size() - off, frame, consumed);
             if (st == FrameStatus::NeedMore)
                 break;
-            if (st == FrameStatus::BadMagic) {
-                bump_bad_frames();
-                const auto reply = errorFrame(
-                    ErrCode::Malformed,
-                    "bad frame magic; not a chameleond stream");
-                sendAll(fd, reply.data(), reply.size());
-                open = false;
-                break;
-            }
-            if (st == FrameStatus::BadVersion) {
-                bump_bad_frames();
-                const auto reply = errorFrame(
-                    ErrCode::BadVersion,
-                    strFormat("unsupported protocol version; "
-                              "server speaks v%u",
-                              kProtocolVersion));
-                sendAll(fd, reply.data(), reply.size());
-                open = false;
-                break;
-            }
-            if (st == FrameStatus::Oversized) {
-                bump_bad_frames();
-                const auto reply = errorFrame(
-                    ErrCode::Oversized,
-                    strFormat("payload exceeds %u bytes",
-                              kMaxPayloadBytes));
-                sendAll(fd, reply.data(), reply.size());
-                open = false;
-                break;
+            if (st != FrameStatus::Ok) {
+                {
+                    std::lock_guard<std::mutex> lock(mtx);
+                    ++counters.badFrames;
+                }
+                ErrCode code = ErrCode::Malformed;
+                std::string msg =
+                    "bad frame magic; not a chameleond stream";
+                if (st == FrameStatus::BadVersion) {
+                    code = ErrCode::BadVersion;
+                    msg = strFormat("unsupported protocol version; "
+                                    "server speaks v%u",
+                                    kProtocolVersion);
+                } else if (st == FrameStatus::Oversized) {
+                    code = ErrCode::Oversized;
+                    msg = strFormat("payload exceeds %u bytes",
+                                    kMaxPayloadBytes);
+                }
+                conn.closing = true;
+                // conn may be destroyed inside queueSend once the
+                // error reply flushes; do not touch it afterwards.
+                return queueSend(conn, errorFrame(code, msg));
             }
             off += consumed;
             {
                 std::lock_guard<std::mutex> lock(mtx);
                 ++counters.framesRx;
             }
-            const std::vector<std::uint8_t> reply =
-                handleFrame(frame);
-            if (!sendAll(fd, reply.data(), reply.size())) {
-                open = false;
-                break;
-            }
+            if (!dispatchFrame(conn, frame))
+                return false;
         }
         if (off > 0)
-            buf.erase(buf.begin(),
-                      buf.begin() + static_cast<std::ptrdiff_t>(off));
+            conn.rx.erase(conn.rx.begin(),
+                          conn.rx.begin() +
+                              static_cast<std::ptrdiff_t>(off));
     }
-    ::close(fd);
-    std::lock_guard<std::mutex> lock(mtx);
-    for (int &cfd : connectionFds)
-        if (cfd == fd)
-            cfd = -1;
 }
 
-std::vector<std::uint8_t>
-Server::handleFrame(const Frame &frame)
+void
+Server::pumpCompletions()
 {
+    std::deque<std::pair<int, std::vector<std::uint8_t>>> queue;
+    {
+        std::lock_guard<std::mutex> lock(ioMtx);
+        queue.swap(ioQueue);
+    }
+    for (auto &[fd, bytes] : queue) {
+        if (fd < 0)
+            continue; // connection closed before delivery
+        const auto it = conns.find(fd);
+        if (it == conns.end())
+            continue;
+        queueSend(it->second, std::move(bytes));
+    }
+}
+
+// -------------------------------------------------------------------
+// Frame dispatch (I/O thread)
+// -------------------------------------------------------------------
+
+bool
+Server::dispatchFrame(Conn &conn, const Frame &frame)
+{
+    std::vector<std::uint8_t> reply;
     switch (frame.type) {
       case MsgType::SubmitRun:
-        return handleSubmit(frame);
-      case MsgType::JobStatus:
-        return handleStatus(frame);
-      case MsgType::JobResult:
-        return handleResult(frame);
-      case MsgType::MetricsSnapshot:
-        return handleMetrics();
-      case MsgType::Health:
-        return handleHealth();
-      case MsgType::Drain:
-        return handleDrain();
-      case MsgType::Shutdown:
-        return handleShutdown();
-      default:
+        reply = handleSubmit(frame);
         break;
+      case MsgType::JobStatus:
+        reply = handleStatus(frame);
+        break;
+      case MsgType::JobResult:
+        reply = handleResult(conn, frame);
+        break;
+      case MsgType::MetricsSnapshot:
+        reply = handleMetrics();
+        break;
+      case MsgType::Health:
+        reply = handleHealth();
+        break;
+      case MsgType::Drain:
+        reply = handleDrain();
+        break;
+      case MsgType::Shutdown:
+        reply = handleShutdown();
+        break;
+      default: {
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            ++counters.badFrames;
+        }
+        reply = errorFrame(
+            ErrCode::UnknownType,
+            strFormat("unknown message type %u",
+                      static_cast<unsigned>(frame.type)));
+        break;
+      }
     }
-    {
-        std::lock_guard<std::mutex> lock(mtx);
-        ++counters.badFrames;
-    }
-    return errorFrame(ErrCode::UnknownType,
-                      strFormat("unknown message type %u",
-                                static_cast<unsigned>(frame.type)));
+    if (reply.empty())
+        return true; // parked as a waiter; the reply comes later
+    return queueSend(conn, std::move(reply));
 }
 
 std::string
@@ -386,16 +586,16 @@ Server::handleSubmit(const Frame &frame)
         return errorFrame(ErrCode::BadRequest, problem);
     }
 
+    const bool cache_on = cache.enabled() && !req.noCache;
+    const std::uint64_t key = cache_on ? cacheKey(req) : 0;
+    CachedResult hit;
+    const bool have_hit = cache_on && cache.lookup(key, hit);
+
     SubmitRunReply reply;
+    bool queued = false;
+    bool finalized = false;
     {
         std::lock_guard<std::mutex> lock(mtx);
-        if (pending.size() >= cfg.queueCapacity) {
-            ++counters.rejectedBusy;
-            return errorFrame(
-                ErrCode::Busy,
-                strFormat("job queue full (%zu pending); retry",
-                          pending.size()));
-        }
         // Keep the job table bounded: evict the oldest terminal
         // jobs once the retention cap is reached (their results
         // have had ample time to be collected).
@@ -409,19 +609,75 @@ Server::handleSubmit(const Frame &frame)
                     ++it;
             }
         }
+
         Job job;
-        job.id = nextJobId++;
         job.req = req;
         job.deadlineMs = req.deadlineMs ? req.deadlineMs
                                         : cfg.defaultDeadlineMs;
         job.acceptedAt = Clock::now();
-        reply.jobId = job.id;
-        reply.queueDepth = static_cast<std::uint32_t>(pending.size());
-        pending.push_back(job.id);
-        jobs.emplace(job.id, std::move(job));
-        ++counters.accepted;
+        job.cacheKey = key;
+
+        if (have_hit) {
+            // Cache hit: the job is born terminal — no queue slot,
+            // no worker dispatch, an answer in microseconds.
+            job.id = nextJobId++;
+            job.cacheFlags = kResultFromCache;
+            reply.jobId = job.id;
+            reply.queueDepth = 0;
+            auto [it, ok] = jobs.emplace(job.id, std::move(job));
+            (void)ok;
+            ++counters.accepted;
+            finalizeJob(it->second, hit.state, hit.result, "", 0.0);
+            finalized = true;
+        } else if (cache_on && inflight.count(key) != 0) {
+            // Single-flight: an identical job is already queued or
+            // running; ride it instead of simulating twice.
+            const std::uint64_t leader_id = inflight[key];
+            const auto lt = jobs.find(leader_id);
+            if (lt != jobs.end() &&
+                !jobStateTerminal(lt->second.state)) {
+                job.id = nextJobId++;
+                job.cacheFlags = kResultCoalesced;
+                reply.jobId = job.id;
+                reply.queueDepth =
+                    static_cast<std::uint32_t>(pending.size());
+                lt->second.followers.push_back(job.id);
+                jobs.emplace(job.id, std::move(job));
+                ++counters.accepted;
+                cache.noteCoalesced();
+            } else {
+                // Stale inflight entry (should not happen; belt and
+                // braces): fall through to a fresh leader below.
+                inflight.erase(key);
+            }
+        }
+
+        if (!finalized && reply.jobId == 0) {
+            if (pending.size() >= cfg.queueCapacity) {
+                ++counters.rejectedBusy;
+                return errorFrame(
+                    ErrCode::Busy,
+                    strFormat("job queue full (%zu pending); retry",
+                              pending.size()));
+            }
+            job.id = nextJobId++;
+            job.cacheLeader = cache_on;
+            job.cacheable = cache_on;
+            if (cache_on)
+                inflight[key] = job.id;
+            reply.jobId = job.id;
+            reply.queueDepth =
+                static_cast<std::uint32_t>(pending.size());
+            pending.push_back(job.id);
+            jobs.emplace(job.id, std::move(job));
+            ++counters.accepted;
+            queued = true;
+        }
     }
-    cvWork.notify_one();
+    if (queued)
+        cvWork.notify_one();
+    if (finalized)
+        cvJobs.notify_all();
     return encodeFrame(MsgType::SubmitReply,
                        encodeSubmitReply(reply));
 }
@@ -466,12 +722,13 @@ Server::buildResultReply(const Job &job) const
         jobStateTerminal(job.state)
             ? job.wallSeconds
             : secondsSince(job.acceptedAt, Clock::now());
+    reply.cacheFlags = job.cacheFlags;
     fillResultReply(reply, job.result);
     return reply;
 }
 
 std::vector<std::uint8_t>
-Server::handleResult(const Frame &frame)
+Server::handleResult(Conn &conn, const Frame &frame)
 {
     JobResultRequest req;
     if (!decodeJobResult(frame.payload, req)) {
@@ -480,8 +737,8 @@ Server::handleResult(const Frame &frame)
         return errorFrame(ErrCode::Malformed,
                           "JobResult payload failed to decode");
     }
-    std::unique_lock<std::mutex> lock(mtx);
-    auto it = jobs.find(req.jobId);
+    std::lock_guard<std::mutex> lock(mtx);
+    const auto it = jobs.find(req.jobId);
     if (it == jobs.end())
         return errorFrame(ErrCode::UnknownJob,
                           strFormat("no job %llu",
@@ -490,23 +747,13 @@ Server::handleResult(const Frame &frame)
     const std::uint32_t wait_ms =
         std::min(req.waitMs, cfg.maxResultWaitMs);
     if (wait_ms > 0 && !jobStateTerminal(it->second.state)) {
-        // Parks only this connection's thread; workers and other
-        // clients continue. Re-find after the wait: the job table
-        // may have rebalanced (never erased while non-terminal).
-        cvJobs.wait_for(
-            lock, std::chrono::milliseconds(wait_ms), [&] {
-                const auto jt = jobs.find(req.jobId);
-                return jt == jobs.end() ||
-                       jobStateTerminal(jt->second.state) ||
-                       stopFlag.load(std::memory_order_acquire);
-            });
-        it = jobs.find(req.jobId);
-        if (it == jobs.end())
-            return errorFrame(
-                ErrCode::UnknownJob,
-                strFormat("no job %llu",
-                          static_cast<unsigned long long>(
-                              req.jobId)));
+        // Park the wait; the finalizing thread (or the reap tick,
+        // when the wait expires first) queues the reply. No thread
+        // blocks on behalf of this client.
+        waiters.push_back(
+            {conn.fd, req.jobId,
+             Clock::now() + std::chrono::milliseconds(wait_ms)});
+        return {};
     }
     const JobResultReply reply = buildResultReply(it->second);
     return encodeFrame(MsgType::JobResultReply,
@@ -558,6 +805,10 @@ Server::handleShutdown()
     return encodeFrame(MsgType::ShutdownReply, {});
 }
 
+// -------------------------------------------------------------------
+// Job machinery
+// -------------------------------------------------------------------
+
 RunResult
 Server::executeJob(const SubmitRunRequest &req)
 {
@@ -594,6 +845,33 @@ Server::executeJob(const SubmitRunRequest &req)
 }
 
 void
+Server::answerWaiters(const Job &job)
+{
+    // Caller holds mtx. Encode once, fan the bytes out to every
+    // parked wait on this job through the completion queue.
+    std::vector<std::uint8_t> bytes;
+    bool pushed = false;
+    for (auto it = waiters.begin(); it != waiters.end();) {
+        if (it->jobId != job.id) {
+            ++it;
+            continue;
+        }
+        if (bytes.empty())
+            bytes = encodeFrame(MsgType::JobResultReply,
+                                encodeJobResultReply(
+                                    buildResultReply(job)));
+        {
+            std::lock_guard<std::mutex> lock(ioMtx);
+            ioQueue.emplace_back(it->fd, bytes);
+        }
+        pushed = true;
+        it = waiters.erase(it);
+    }
+    if (pushed)
+        wakeIo();
+}
+
+void
 Server::finalizeJob(Job &job, JobState state, RunResult result,
                     std::string error, double wall_seconds)
 {
@@ -623,6 +901,41 @@ Server::finalizeJob(Job &job, JobState state, RunResult result,
         break;
       default:
         panic("serve: finalizeJob with non-terminal state");
+    }
+
+    answerWaiters(job);
+
+    if (job.cacheLeader) {
+        // Release the single-flight slot; a later identical job is a
+        // cache hit (Ok/Degraded) or a fresh leader (Failed/TimedOut).
+        const auto it = inflight.find(job.cacheKey);
+        if (it != inflight.end() && it->second == job.id)
+            inflight.erase(it);
+        job.cacheLeader = false;
+        if (job.cacheable && (state == JobState::Ok ||
+                              state == JobState::Degraded)) {
+            CachedResult entry;
+            entry.state = state;
+            entry.result = job.result;
+            entry.wallSeconds = wall_seconds;
+            cache.insert(job.cacheKey, std::move(entry));
+        }
+    }
+
+    if (!job.followers.empty()) {
+        // Coalesced twins share the leader's fate — including
+        // TimedOut, so a wedged leader can never strand them.
+        const std::vector<std::uint64_t> fids =
+            std::move(job.followers);
+        job.followers.clear();
+        for (const std::uint64_t fid : fids) {
+            const auto jt = jobs.find(fid);
+            if (jt == jobs.end() ||
+                jobStateTerminal(jt->second.state))
+                continue;
+            finalizeJob(jt->second, state, job.result, job.error,
+                        wall_seconds);
+        }
     }
 }
 
@@ -693,6 +1006,7 @@ void
 Server::reapOverdueJobs()
 {
     bool changed = false;
+    std::vector<std::pair<int, std::vector<std::uint8_t>>> expired;
     {
         std::lock_guard<std::mutex> lock(mtx);
         const auto now = Clock::now();
@@ -720,33 +1034,91 @@ Server::reapOverdueJobs()
                      job.deadlineMs);
             }
         }
+
+        // Expired waits answer with the job's interim state (still
+        // Queued/Running), exactly like the old blocking path did.
+        for (auto it = waiters.begin(); it != waiters.end();) {
+            if (now < it->deadline) {
+                ++it;
+                continue;
+            }
+            const auto jt = jobs.find(it->jobId);
+            std::vector<std::uint8_t> bytes =
+                jt == jobs.end()
+                    ? errorFrame(
+                          ErrCode::UnknownJob,
+                          strFormat("no job %llu",
+                                    static_cast<unsigned long long>(
+                                        it->jobId)))
+                    : encodeFrame(MsgType::JobResultReply,
+                                  encodeJobResultReply(
+                                      buildResultReply(jt->second)));
+            expired.emplace_back(it->fd, std::move(bytes));
+            it = waiters.erase(it);
+        }
     }
     if (changed)
         cvJobs.notify_all();
+    for (auto &[fd, bytes] : expired) {
+        const auto it = conns.find(fd);
+        if (it == conns.end() || it->second.closing)
+            continue;
+        queueSend(it->second, std::move(bytes));
+    }
 }
+
+// -------------------------------------------------------------------
+// Metrics
+// -------------------------------------------------------------------
+
+namespace
+{
+
+struct MetricDef
+{
+    const char *name;
+    MetricKind kind;
+};
+
+constexpr MetricDef kServeMetrics[] = {
+    {"serve_jobs_accepted", MetricKind::Counter},
+    {"serve_jobs_rejected_busy", MetricKind::Counter},
+    {"serve_jobs_rejected_drain", MetricKind::Counter},
+    {"serve_jobs_rejected_invalid", MetricKind::Counter},
+    {"serve_jobs_ok", MetricKind::Counter},
+    {"serve_jobs_degraded", MetricKind::Counter},
+    {"serve_jobs_failed", MetricKind::Counter},
+    {"serve_jobs_timeout", MetricKind::Counter},
+    {"serve_connections", MetricKind::Counter},
+    {"serve_frames_rx", MetricKind::Counter},
+    {"serve_frames_bad", MetricKind::Counter},
+    {"serve_conns_dropped_slow", MetricKind::Counter},
+    {"serve_cache_hits", MetricKind::Counter},
+    {"serve_cache_misses", MetricKind::Counter},
+    {"serve_cache_coalesced", MetricKind::Counter},
+    {"serve_cache_insertions", MetricKind::Counter},
+    {"serve_cache_evictions", MetricKind::Counter},
+    {"serve_queue_depth", MetricKind::Gauge},
+    {"serve_running_jobs", MetricKind::Gauge},
+    {"serve_waiters", MetricKind::Gauge},
+    {"serve_cache_entries", MetricKind::Gauge},
+    {"serve_cache_bytes", MetricKind::Gauge},
+    {"serve_draining", MetricKind::Gauge},
+};
+
+} // namespace
 
 void
 Server::registerMetrics()
 {
     // The registry reads whatever the shadow copy held at the last
     // metricsJson() refresh; getters stay trivially thread-safe.
-    static const char *const names[] = {
-        "serve_jobs_accepted",      "serve_jobs_rejected_busy",
-        "serve_jobs_rejected_drain", "serve_jobs_rejected_invalid",
-        "serve_jobs_ok",            "serve_jobs_degraded",
-        "serve_jobs_failed",        "serve_jobs_timeout",
-        "serve_connections",        "serve_frames_rx",
-        "serve_frames_bad",         "serve_queue_depth",
-        "serve_running_jobs",       "serve_draining",
-    };
-    metricShadow.assign(std::size(names), 0.0);
-    for (std::size_t i = 0; i < std::size(names); ++i) {
+    metricShadow.assign(std::size(kServeMetrics), 0.0);
+    for (std::size_t i = 0; i < std::size(kServeMetrics); ++i) {
         const double *cell = &metricShadow[i];
-        const bool gauge = i >= 11;
-        registry.registerMetric(
-            names[i],
-            gauge ? MetricKind::Gauge : MetricKind::Counter,
-            [cell] { return *cell; });
+        registry.registerMetric(kServeMetrics[i].name,
+                                kServeMetrics[i].kind,
+                                [cell] { return *cell; });
     }
 }
 
@@ -755,13 +1127,16 @@ Server::metricsJson()
 {
     ServerStats s;
     std::size_t queue_depth;
+    std::size_t waiter_count;
     unsigned running;
     {
         std::lock_guard<std::mutex> lock(mtx);
         s = counters;
         queue_depth = pending.size();
+        waiter_count = waiters.size();
         running = runningJobs;
     }
+    const ResultCache::Stats cs = cache.stats();
     const auto uptime_ms = static_cast<std::uint64_t>(
         secondsSince(startedAt, Clock::now()) * 1000.0);
 
@@ -778,8 +1153,17 @@ Server::metricsJson()
         static_cast<double>(s.connections),
         static_cast<double>(s.framesRx),
         static_cast<double>(s.badFrames),
+        static_cast<double>(s.droppedSlowConns),
+        static_cast<double>(cs.hits),
+        static_cast<double>(cs.misses),
+        static_cast<double>(cs.coalesced),
+        static_cast<double>(cs.insertions),
+        static_cast<double>(cs.evictions),
         static_cast<double>(queue_depth),
         static_cast<double>(running),
+        static_cast<double>(waiter_count),
+        static_cast<double>(cs.entries),
+        static_cast<double>(cs.bytes),
         state() == ServerStateKind::Draining ? 1.0 : 0.0,
     };
     // Each snapshot request extends the registry's time series, so a

@@ -1,38 +1,53 @@
 /**
  * @file
- * chameleond's serving core: a multi-threaded TCP server that keeps a
+ * chameleond's serving core: an epoll-driven TCP server that keeps a
  * warm simulator fleet behind the wire protocol of
  * serve/protocol.hh.
  *
- * Threading model:
- *  - one accept thread (poll() with a short tick so stop/drain flags
- *    are observed promptly);
- *  - one connection thread per client, framing and dispatching
- *    requests (a blocking JobResult wait parks only its own
- *    connection thread);
+ * Threading model (PR 7 replaced the thread-per-connection design):
+ *  - ONE nonblocking I/O thread owns the listener, every connection,
+ *    and an epoll instance: it accepts, reassembles frames from
+ *    partial reads, dispatches complete frames, and flushes
+ *    per-connection output queues. 1024 idle clients cost zero
+ *    threads and zero syscalls.
  *  - a worker pool executing queued jobs, one System per job, exactly
- *    like SweepRunner cells (jobs are independent, nothing is shared
- *    but the log mutex);
- *  - a reaper tick enforcing per-job deadlines with the PR 3
- *    abandonment discipline: an overdue job is finalized as TimedOut,
- *    a replacement worker keeps the pool at full strength, and the
- *    stuck thread's eventual result is discarded.
+ *    like SweepRunner cells. Workers never touch a socket: finished
+ *    results are handed back to the I/O thread through a completion
+ *    queue plus a wake pipe.
+ *  - deadline reaping runs on the I/O thread's epoll tick with the
+ *    PR 3 abandonment discipline: an overdue job is finalized as
+ *    TimedOut, a replacement worker keeps the pool at full strength,
+ *    and the stuck thread's eventual result is discarded.
  *
- * Admission control is a bounded pending queue: when it is full,
- * SubmitRun is answered with Error{Busy} immediately — the daemon
- * never queues unboundedly and never stalls the accept loop on
- * simulator work.
+ * Blocking JobResult waits are asynchronous server-side: a waiter
+ * (connection, job, deadline) is parked in a table; the finalizing
+ * thread queues the reply bytes and wakes the I/O thread. No thread
+ * ever parks on behalf of a client.
+ *
+ * Slow clients get bounded backpressure: each connection owns an
+ * output queue capped at ServerConfig::connBacklogBytes; a peer that
+ * stops reading past that cap is dropped (counted in
+ * stats().droppedSlowConns) and never stalls the event loop or other
+ * connections.
+ *
+ * Result cache (serve/result_cache.hh): SubmitRun is content-
+ * addressed. A hit finalizes the job immediately from the cached
+ * frame (microseconds, no worker dispatch); a miss with an identical
+ * job already in flight coalesces behind that leader (single-flight:
+ * N concurrent twins run the simulation once); otherwise the job is
+ * queued and its terminal Ok/Degraded result is inserted on
+ * completion. SubmitRunRequest::noCache opts a job out of all three.
+ *
+ * Admission control is unchanged: a full pending queue answers
+ * Error{Busy}; the daemon never queues unboundedly and simulator work
+ * never runs on the I/O thread.
  *
  * Graceful drain (SIGTERM in chameleond, or a Drain/Shutdown frame):
  * new submissions are refused with Error{Draining}, every accepted
- * job still runs to a terminal state, and status/result/metrics
- * queries keep working so clients can collect what they are owed.
- * stats().lostJobs() is the invariant the smoke test asserts: zero
- * accepted-but-unresolved jobs after a drain.
- *
- * Fault-injected runs that retire segments or see uncorrectable ECC
- * finish as JobState::Degraded — a first-class result carrying full
- * statistics, not a dropped connection.
+ * job — leaders and coalesced followers alike — still reaches a
+ * terminal state, and status/result/metrics queries keep working.
+ * stats().lostJobs() == 0 after a drain is the invariant the smoke
+ * test and serve_load assert.
  */
 
 #ifndef CHAMELEON_SERVE_SERVER_HH
@@ -47,10 +62,12 @@
 #include <map>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics_registry.hh"
 #include "serve/protocol.hh"
+#include "serve/result_cache.hh"
 #include "sim/experiment.hh"
 
 namespace chameleon::serve
@@ -68,6 +85,10 @@ struct ServerConfig
     std::uint32_t defaultDeadlineMs = 0;
     /** Cap on a JobResult server-side wait. */
     std::uint32_t maxResultWaitMs = 60'000;
+    /** Result-cache byte budget; 0 disables the cache. */
+    std::size_t cacheBytes = 64u << 20;
+    /** Per-connection output-queue cap; a slower reader is dropped. */
+    std::size_t connBacklogBytes = 4u << 20;
     /**
      * Base simulation options; per-request fields (seed, scale,
      * instr, refs, fault rates, oracle) override these per job.
@@ -100,6 +121,8 @@ struct ServerStats
     std::uint64_t connections = 0;
     std::uint64_t framesRx = 0;
     std::uint64_t badFrames = 0;
+    /** Connections dropped for exceeding connBacklogBytes. */
+    std::uint64_t droppedSlowConns = 0;
 
     std::uint64_t
     terminal() const
@@ -125,7 +148,7 @@ class Server
     Server &operator=(const Server &) = delete;
 
     /**
-     * Bind 127.0.0.1:port, start the accept thread and worker pool.
+     * Bind 127.0.0.1:port, start the I/O thread and worker pool.
      * Throws std::runtime_error when the socket cannot be set up.
      */
     void start();
@@ -158,12 +181,17 @@ class Server
 
     ServerStats stats() const;
 
+    /** Result-cache counters (hits/misses/coalesced/evictions/…). */
+    ResultCache::Stats cacheStats() const { return cache.stats(); }
+
     const ServerConfig &config() const { return cfg; }
 
     /** Flat JSON snapshot of the daemon metrics registry. */
     std::string metricsJson();
 
   private:
+    using Clock = std::chrono::steady_clock;
+
     struct Job
     {
         std::uint64_t id = 0;
@@ -173,31 +201,88 @@ class Server
         RunResult result;
         double wallSeconds = 0.0;
         std::uint32_t deadlineMs = 0;
-        std::chrono::steady_clock::time_point acceptedAt{};
-        std::chrono::steady_clock::time_point startedAt{};
+        Clock::time_point acceptedAt{};
+        Clock::time_point startedAt{};
+        /** Cache bookkeeping (kResultFromCache/kResultCoalesced). */
+        std::uint8_t cacheFlags = 0;
+        std::uint64_t cacheKey = 0;
+        /** True while this job owns the inflight[cacheKey] slot. */
+        bool cacheLeader = false;
+        /** May the terminal result be inserted into the cache? */
+        bool cacheable = false;
+        /** Coalesced twins finalized together with this leader. */
+        std::vector<std::uint64_t> followers;
     };
 
-    void acceptLoop();
-    void connectionLoop(int fd);
-    void workerLoop();
-    /** Enforce deadlines; called from the accept loop's tick. */
-    void reapOverdueJobs();
+    /** One connection, owned exclusively by the I/O thread. */
+    struct Conn
+    {
+        int fd = -1;
+        std::vector<std::uint8_t> rx;
+        /** Output frames not yet fully written. */
+        std::deque<std::vector<std::uint8_t>> tx;
+        /** Bytes of tx.front() already sent. */
+        std::size_t txOffset = 0;
+        /** Total unsent bytes across tx. */
+        std::size_t txBytes = 0;
+        /** EPOLLOUT currently armed. */
+        bool wantWrite = false;
+        /** Flush remaining tx, then close (protocol fatal). */
+        bool closing = false;
+    };
 
-    /** Dispatch one decoded frame; returns the reply frame bytes. */
-    std::vector<std::uint8_t> handleFrame(const Frame &frame);
+    /** A parked JobResult wait (guarded by mtx). */
+    struct Waiter
+    {
+        int fd = -1;
+        std::uint64_t jobId = 0;
+        Clock::time_point deadline{};
+    };
+
+    // --- I/O thread -------------------------------------------------
+    void ioLoop();
+    void acceptReady();
+    /** Returns false when the connection was closed. */
+    bool readConn(Conn &conn);
+    bool flushConn(Conn &conn);
+    /** Queue reply bytes; may drop a slow peer. False = closed. */
+    bool queueSend(Conn &conn, std::vector<std::uint8_t> bytes);
+    void closeConn(int fd);
+    void armWrite(Conn &conn, bool enable);
+    /** Deliver worker-completed replies from ioQueue to conns. */
+    void pumpCompletions();
+    /** Wake the I/O thread's epoll_wait. */
+    void wakeIo();
+
+    // --- frame dispatch (I/O thread) --------------------------------
+    /** Returns false when the connection was closed. */
+    bool dispatchFrame(Conn &conn, const Frame &frame);
     std::vector<std::uint8_t> handleSubmit(const Frame &frame);
     std::vector<std::uint8_t> handleStatus(const Frame &frame);
-    std::vector<std::uint8_t> handleResult(const Frame &frame);
+    /** Empty return = parked as a waiter, reply comes later. */
+    std::vector<std::uint8_t> handleResult(Conn &conn,
+                                           const Frame &frame);
     std::vector<std::uint8_t> handleMetrics();
     std::vector<std::uint8_t> handleHealth();
     std::vector<std::uint8_t> handleDrain();
     std::vector<std::uint8_t> handleShutdown();
 
+    // --- job machinery ----------------------------------------------
+    void workerLoop();
+    /** Enforce deadlines + expire waiters; I/O thread tick. */
+    void reapOverdueJobs();
     RunResult executeJob(const SubmitRunRequest &req);
     /** Validate a submission; returns an error message or "". */
     std::string validateRequest(const SubmitRunRequest &req) const;
+    /**
+     * Caller holds mtx. Finalizes the job, releases its single-
+     * flight slot, finalizes coalesced followers, inserts cacheable
+     * results, and answers parked waiters via the completion queue.
+     */
     void finalizeJob(Job &job, JobState state, RunResult result,
                      std::string error, double wall_seconds);
+    /** Caller holds mtx: queue replies for waiters on @p job. */
+    void answerWaiters(const Job &job);
     void registerMetrics();
 
     JobResultReply buildResultReply(const Job &job) const;
@@ -205,7 +290,8 @@ class Server
     ServerConfig cfg;
     std::uint16_t boundPort = 0;
     int listenFd = -1;
-    /** Pipe used to wake the accept loop's poll() on stop. */
+    int epollFd = -1;
+    /** Pipe used to wake the I/O thread's epoll_wait. */
     int wakePipe[2] = {-1, -1};
 
     std::atomic<ServerStateKind> stateFlag{ServerStateKind::Stopped};
@@ -217,20 +303,35 @@ class Server
     std::condition_variable cvJobs;  ///< waiters: job state changed
     std::map<std::uint64_t, Job> jobs;
     std::deque<std::uint64_t> pending;
+    /** Single-flight: cache key -> leader job id. */
+    std::unordered_map<std::uint64_t, std::uint64_t> inflight;
+    std::vector<Waiter> waiters;
     std::uint64_t nextJobId = 1;
     unsigned runningJobs = 0;
     ServerStats counters;
 
-    std::thread acceptThread;
+    /**
+     * Cross-thread completion channel: (fd, frame bytes) pairs the
+     * I/O thread delivers on its next pass. Guarded by ioMtx; lock
+     * order is mtx -> ioMtx, and the I/O thread never takes mtx
+     * while holding ioMtx.
+     */
+    std::mutex ioMtx;
+    std::deque<std::pair<int, std::vector<std::uint8_t>>> ioQueue;
+
+    /** fd -> connection; touched only by the I/O thread. */
+    std::unordered_map<int, Conn> conns;
+
+    ResultCache cache;
+
+    std::thread ioThread;
     std::vector<std::thread> workers;
-    std::vector<std::thread> connections;
-    std::vector<int> connectionFds;
 
     mutable std::mutex metricsMtx;
     MetricsRegistry registry;
     /** Values the registry getters read; refreshed in metricsJson. */
     std::vector<double> metricShadow;
-    std::chrono::steady_clock::time_point startedAt{};
+    Clock::time_point startedAt{};
 };
 
 } // namespace chameleon::serve

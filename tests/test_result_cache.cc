@@ -1,0 +1,410 @@
+/**
+ * @file
+ * ResultCache suite (ctest -L serve): canonical cache-key semantics
+ * (field-order/default insensitivity, seed and fault sensitivity),
+ * bounded-LRU eviction at the byte budget, consistent-hash shard
+ * invalidation, single-flight coalescing through a live server (16
+ * concurrent identical jobs -> exactly one simulation), and a
+ * differential check that a cached reply is byte-identical to a
+ * fresh simulation for every design.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/client.hh"
+#include "serve/result_cache.hh"
+#include "serve/server.hh"
+
+using namespace chameleon;
+using namespace chameleon::serve;
+
+namespace
+{
+
+SubmitRunRequest
+baseRequest()
+{
+    SubmitRunRequest req;
+    req.design = "chameleon-opt";
+    req.app = "stream";
+    req.seed = 42;
+    req.scale = 512;
+    req.instrPerCore = 10'000;
+    req.minRefsPerCore = 500;
+    return req;
+}
+
+CachedResult
+sampleEntry(double ipc = 1.0)
+{
+    CachedResult e;
+    e.state = JobState::Ok;
+    e.result.ipcGeoMean = ipc;
+    e.result.instructions = 1000;
+    e.wallSeconds = 0.25;
+    return e;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Key canonicalization
+// ---------------------------------------------------------------
+
+TEST(ResultCacheKey, ServingFieldsDoNotAffectTheKey)
+{
+    const SubmitRunRequest a = baseRequest();
+    SubmitRunRequest b = baseRequest();
+    // deadlineMs and noCache steer serving, not simulation: same key.
+    b.deadlineMs = 9999;
+    b.noCache = true;
+    EXPECT_EQ(cacheKey(a), cacheKey(b));
+}
+
+TEST(ResultCacheKey, DefaultedFieldsHashLikeExplicitOnes)
+{
+    const SubmitRunRequest a = baseRequest(); // fault fields defaulted
+    SubmitRunRequest b = baseRequest();
+    b.faultRate = 0.0; // explicit zeros == untouched defaults
+    b.faultStuck = 0.0;
+    b.faultSpikes = 0.0;
+    b.oracle = false;
+    EXPECT_EQ(cacheKey(a), cacheKey(b));
+}
+
+TEST(ResultCacheKey, NegativeZeroNormalizes)
+{
+    SubmitRunRequest a = baseRequest();
+    SubmitRunRequest b = baseRequest();
+    a.faultRate = 0.0;
+    b.faultRate = -0.0;
+    EXPECT_EQ(cacheKey(a), cacheKey(b));
+}
+
+TEST(ResultCacheKey, StringBoundariesCannotCollide)
+{
+    // Length-prefixed labels/values: shifting a character between
+    // design and app must change the canonical encoding.
+    SubmitRunRequest a = baseRequest();
+    SubmitRunRequest b = baseRequest();
+    a.design = "ab";
+    a.app = "c";
+    b.design = "a";
+    b.app = "bc";
+    EXPECT_NE(cacheKey(a), cacheKey(b));
+}
+
+TEST(ResultCacheKey, EveryResultAffectingFieldIsSensitive)
+{
+    const SubmitRunRequest base = baseRequest();
+    const std::uint64_t k0 = cacheKey(base);
+
+    auto mutated = [&](auto &&mutate) {
+        SubmitRunRequest req = baseRequest();
+        mutate(req);
+        return cacheKey(req);
+    };
+
+    EXPECT_NE(k0, mutated([](auto &r) { r.design = "pom"; }));
+    EXPECT_NE(k0, mutated([](auto &r) { r.app = "mcf"; }));
+    EXPECT_NE(k0, mutated([](auto &r) { r.seed = 43; }));
+    EXPECT_NE(k0, mutated([](auto &r) { r.scale = 256; }));
+    EXPECT_NE(k0, mutated([](auto &r) { r.instrPerCore = 20'000; }));
+    EXPECT_NE(k0, mutated([](auto &r) { r.minRefsPerCore = 501; }));
+    EXPECT_NE(k0, mutated([](auto &r) { r.faultRate = 1e-4; }));
+    EXPECT_NE(k0, mutated([](auto &r) { r.faultStuck = 1e-3; }));
+    EXPECT_NE(k0, mutated([](auto &r) { r.faultSpikes = 0.05; }));
+    EXPECT_NE(k0, mutated([](auto &r) { r.oracle = true; }));
+}
+
+TEST(ResultCacheKey, ShardIsStableAndInRange)
+{
+    for (std::uint64_t seed = 0; seed < 200; ++seed) {
+        SubmitRunRequest req = baseRequest();
+        req.seed = seed;
+        const std::uint64_t key = cacheKey(req);
+        const std::uint32_t shard = cacheShard(key);
+        EXPECT_LT(shard, kCacheShards);
+        EXPECT_EQ(shard, cacheShard(key)); // pure function of the key
+    }
+}
+
+// ---------------------------------------------------------------
+// Bounded LRU storage
+// ---------------------------------------------------------------
+
+TEST(ResultCacheLru, HitMissAndRecencyOrder)
+{
+    ResultCache cache(1u << 20);
+    ASSERT_TRUE(cache.enabled());
+
+    CachedResult out;
+    EXPECT_FALSE(cache.lookup(1, out));
+    cache.insert(1, sampleEntry(1.0));
+    cache.insert(2, sampleEntry(2.0));
+    ASSERT_TRUE(cache.lookup(1, out));
+    EXPECT_DOUBLE_EQ(out.result.ipcGeoMean, 1.0);
+
+    const ResultCache::Stats st = cache.stats();
+    EXPECT_EQ(st.hits, 1u);
+    EXPECT_EQ(st.misses, 1u);
+    EXPECT_EQ(st.insertions, 2u);
+    EXPECT_EQ(st.entries, 2u);
+    EXPECT_GT(st.bytes, 0u);
+}
+
+TEST(ResultCacheLru, EvictsColdEntriesAtTheByteBudget)
+{
+    const std::size_t per_entry = cachedResultBytes(sampleEntry());
+    // Room for three entries and change, never four.
+    ResultCache cache(per_entry * 3 + per_entry / 2);
+
+    cache.insert(1, sampleEntry(1.0));
+    cache.insert(2, sampleEntry(2.0));
+    cache.insert(3, sampleEntry(3.0));
+    EXPECT_EQ(cache.stats().entries, 3u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    // Touch 1 so 2 is the cold end, then overflow the budget.
+    CachedResult out;
+    ASSERT_TRUE(cache.lookup(1, out));
+    cache.insert(4, sampleEntry(4.0));
+
+    const ResultCache::Stats st = cache.stats();
+    EXPECT_EQ(st.entries, 3u);
+    EXPECT_EQ(st.evictions, 1u);
+    EXPECT_LE(st.bytes, cache.byteBudget());
+    EXPECT_FALSE(cache.lookup(2, out)) << "LRU entry must be gone";
+    EXPECT_TRUE(cache.lookup(1, out));
+    EXPECT_TRUE(cache.lookup(3, out));
+    EXPECT_TRUE(cache.lookup(4, out));
+}
+
+TEST(ResultCacheLru, OversizedEntryIsRefused)
+{
+    ResultCache cache(8); // smaller than any encoded reply
+    cache.insert(1, sampleEntry());
+    const ResultCache::Stats st = cache.stats();
+    EXPECT_EQ(st.entries, 0u);
+    EXPECT_EQ(st.insertions, 0u);
+    EXPECT_EQ(st.oversized, 1u);
+    CachedResult out;
+    EXPECT_FALSE(cache.lookup(1, out));
+}
+
+TEST(ResultCacheLru, ZeroBudgetDisablesEverything)
+{
+    ResultCache cache(0);
+    EXPECT_FALSE(cache.enabled());
+    cache.insert(1, sampleEntry());
+    CachedResult out;
+    EXPECT_FALSE(cache.lookup(1, out));
+    EXPECT_EQ(cache.stats().entries, 0u);
+    // Disabled lookups are not counted as misses either.
+    EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(ResultCacheLru, InvalidateShardDropsExactlyThatShard)
+{
+    ResultCache cache(1u << 20);
+    // Spread keys across shards until at least two shards own keys.
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t k = 1; keys.size() < 32; ++k) {
+        cache.insert(k << 56 | k, sampleEntry());
+        keys.push_back(k << 56 | k);
+    }
+    const std::uint32_t victim = cacheShard(keys[0]);
+    std::size_t expected = 0;
+    for (const std::uint64_t k : keys)
+        if (cacheShard(k) == victim)
+            ++expected;
+    ASSERT_GT(expected, 0u);
+    ASSERT_LT(expected, keys.size());
+
+    EXPECT_EQ(cache.invalidateShard(victim), expected);
+    CachedResult out;
+    for (const std::uint64_t k : keys) {
+        if (cacheShard(k) == victim)
+            EXPECT_FALSE(cache.lookup(k, out));
+        else
+            EXPECT_TRUE(cache.lookup(k, out));
+    }
+}
+
+TEST(ResultCacheLru, ClearCountsEvictions)
+{
+    ResultCache cache(1u << 20);
+    cache.insert(1, sampleEntry());
+    cache.insert(2, sampleEntry());
+    cache.clear();
+    const ResultCache::Stats st = cache.stats();
+    EXPECT_EQ(st.entries, 0u);
+    EXPECT_EQ(st.bytes, 0u);
+    EXPECT_EQ(st.evictions, 2u);
+}
+
+// ---------------------------------------------------------------
+// Single-flight + cache hits through a live server
+// ---------------------------------------------------------------
+
+TEST(ResultCacheServer, SixteenIdenticalJobsSimulateOnce)
+{
+    std::atomic<unsigned> simulations{0};
+    ServerConfig cfg;
+    cfg.workers = 4;
+    cfg.runner = [&](const SubmitRunRequest &) {
+        simulations.fetch_add(1);
+        // Long enough that all 16 submissions land while the leader
+        // is still in flight.
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        RunResult r;
+        r.ipcGeoMean = 2.5;
+        r.instructions = 4096;
+        return r;
+    };
+    Server server(std::move(cfg));
+    server.start();
+
+    constexpr unsigned kClients = 16;
+    std::atomic<unsigned> okCount{0};
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kClients; ++t)
+        threads.emplace_back([&] {
+            ClientConfig ccfg;
+            ccfg.port = server.port();
+            Client c(ccfg);
+            SubmitRunRequest req;
+            req.design = "chameleon-opt";
+            req.app = "stream";
+            req.seed = 7;
+            req.scale = 512;
+            req.instrPerCore = 10'000;
+            req.minRefsPerCore = 500;
+            const SubmitRunReply sub = c.submitRun(req);
+            const JobResultReply res = c.result(sub.jobId, 30'000);
+            if (res.state == JobState::Ok &&
+                res.instructions == 4096)
+                okCount.fetch_add(1);
+        });
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(okCount.load(), kClients);
+    EXPECT_EQ(simulations.load(), 1u)
+        << "single-flight must collapse identical jobs";
+
+    const ResultCache::Stats cs = server.cacheStats();
+    // Every non-leader was either coalesced behind the in-flight
+    // leader or answered from the cache after it completed.
+    EXPECT_EQ(cs.coalesced + cs.hits, kClients - 1);
+    EXPECT_EQ(cs.insertions, 1u);
+
+    const ServerStats st = server.stats();
+    EXPECT_EQ(st.accepted, kClients);
+    EXPECT_EQ(st.completedOk, kClients);
+    EXPECT_EQ(st.lostJobs(), 0u);
+    server.stop();
+}
+
+TEST(ResultCacheServer, NoCacheFlagForcesFreshSimulations)
+{
+    std::atomic<unsigned> simulations{0};
+    ServerConfig cfg;
+    cfg.workers = 2;
+    cfg.runner = [&](const SubmitRunRequest &) {
+        simulations.fetch_add(1);
+        RunResult r;
+        r.ipcGeoMean = 1.0;
+        return r;
+    };
+    Server server(std::move(cfg));
+    server.start();
+
+    ClientConfig ccfg;
+    ccfg.port = server.port();
+    Client c(ccfg);
+    SubmitRunRequest req;
+    req.design = "chameleon-opt";
+    req.app = "stream";
+    req.scale = 512;
+    req.instrPerCore = 10'000;
+    req.minRefsPerCore = 500;
+    req.noCache = true;
+
+    for (int i = 0; i < 3; ++i) {
+        const SubmitRunReply sub = c.submitRun(req);
+        const JobResultReply res = c.result(sub.jobId, 30'000);
+        EXPECT_EQ(res.state, JobState::Ok);
+        EXPECT_EQ(res.cacheFlags, 0u);
+    }
+    EXPECT_EQ(simulations.load(), 3u);
+    EXPECT_EQ(server.cacheStats().insertions, 0u);
+    server.stop();
+}
+
+// ---------------------------------------------------------------
+// Differential: cached replies are byte-identical to fresh ones
+// ---------------------------------------------------------------
+
+TEST(ResultCacheServer, CachedReplyMatchesFreshRunForEveryDesign)
+{
+    // Real simulator (no stub): submit each design twice. The first
+    // reply is a fresh simulation, the second a cache hit; modulo
+    // job identity (id, wall clock, cache flags) the encoded result
+    // payloads must be byte-identical.
+    ServerConfig cfg;
+    cfg.workers = 2;
+    cfg.bench.scale = 512;
+    Server server(std::move(cfg));
+    server.start();
+
+    ClientConfig ccfg;
+    ccfg.port = server.port();
+    ccfg.ioTimeoutMs = 120'000;
+    Client c(ccfg);
+
+    const char *designs[] = {
+        "flat-ddr",  "numa-flat", "alloy-cache", "pom",
+        "chameleon", "chameleon-opt", "polymorphic",
+    };
+    for (const char *design : designs) {
+        SubmitRunRequest req;
+        req.design = design;
+        req.app = "stream";
+        req.seed = 11;
+        req.scale = 512;
+        req.instrPerCore = 5'000;
+        req.minRefsPerCore = 250;
+
+        const SubmitRunReply s1 = c.submitRun(req);
+        JobResultReply fresh = c.result(s1.jobId, 120'000);
+        ASSERT_EQ(fresh.state, JobState::Ok) << design;
+        EXPECT_EQ(fresh.cacheFlags, 0u) << design;
+
+        const SubmitRunReply s2 = c.submitRun(req);
+        JobResultReply cached = c.result(s2.jobId, 120'000);
+        ASSERT_EQ(cached.state, JobState::Ok) << design;
+        EXPECT_EQ(cached.cacheFlags, kResultFromCache) << design;
+
+        // Strip job identity, then require bytewise equality of the
+        // encoded payloads — a field-by-field comparison could miss
+        // a newly added result field; this cannot.
+        fresh.jobId = cached.jobId = 0;
+        fresh.wallSeconds = cached.wallSeconds = 0.0;
+        fresh.cacheFlags = cached.cacheFlags = 0;
+        EXPECT_EQ(encodeJobResultReply(fresh),
+                  encodeJobResultReply(cached))
+            << design;
+    }
+
+    const ResultCache::Stats cs = server.cacheStats();
+    EXPECT_EQ(cs.hits, 7u);
+    EXPECT_EQ(cs.insertions, 7u);
+    server.stop();
+    EXPECT_EQ(server.stats().lostJobs(), 0u);
+}

@@ -17,6 +17,7 @@
 #include <condition_variable>
 #include <cstring>
 #include <mutex>
+#include <random>
 #include <thread>
 #include <vector>
 
@@ -118,13 +119,16 @@ struct StubServer
     explicit StubServer(
         std::function<RunResult(const SubmitRunRequest &)> runner,
         unsigned workers = 2, std::size_t queue_capacity = 64,
-        std::uint32_t default_deadline_ms = 0)
+        std::uint32_t default_deadline_ms = 0,
+        std::function<void(ServerConfig &)> tweak = {})
     {
         ServerConfig cfg;
         cfg.workers = workers;
         cfg.queueCapacity = queue_capacity;
         cfg.defaultDeadlineMs = default_deadline_ms;
         cfg.runner = std::move(runner);
+        if (tweak)
+            tweak(cfg);
         server = std::make_unique<Server>(std::move(cfg));
         server->start();
     }
@@ -446,8 +450,16 @@ TEST(ServeServer, BoundedQueueAnswersBusy)
         /*workers=*/1, /*queue_capacity=*/1);
     Client c = srv.client();
 
+    // Distinct seeds: identical jobs would coalesce behind the
+    // leader (single-flight) instead of occupying queue slots.
+    SubmitRunRequest r1 = sampleRequest();
+    SubmitRunRequest r2 = sampleRequest();
+    SubmitRunRequest r3 = sampleRequest();
+    r2.seed = 43;
+    r3.seed = 44;
+
     // First job: picked up by the single worker (leaves the queue).
-    const SubmitRunReply a = c.submitRun(sampleRequest());
+    const SubmitRunReply a = c.submitRun(r1);
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::seconds(5);
     while (started.load() == 0 &&
@@ -456,20 +468,23 @@ TEST(ServeServer, BoundedQueueAnswersBusy)
     ASSERT_EQ(started.load(), 1);
 
     // Second job fills the queue; third must bounce with Busy.
-    const SubmitRunReply b = c.submitRun(sampleRequest());
+    const SubmitRunReply b = c.submitRun(r2);
+    bool busy = false;
     try {
-        c.submitRun(sampleRequest());
-        FAIL() << "expected Busy";
+        c.submitRun(r3);
     } catch (const ServeError &e) {
-        EXPECT_EQ(e.code(), ErrCode::Busy);
+        busy = e.code() == ErrCode::Busy;
     }
-    EXPECT_EQ(srv.server->stats().rejectedBusy, 1u);
-
+    // Release the stub before asserting so a failure can't leave the
+    // worker parked forever in the server destructor.
     {
         std::lock_guard<std::mutex> lock(m);
         release = true;
     }
     cv.notify_all();
+    EXPECT_TRUE(busy) << "expected Busy";
+    EXPECT_EQ(srv.server->stats().rejectedBusy, 1u);
+
     EXPECT_EQ(c.result(a.jobId, 10'000).state, JobState::Ok);
     EXPECT_EQ(c.result(b.jobId, 10'000).state, JobState::Ok);
     EXPECT_EQ(srv.server->stats().lostJobs(), 0u);
@@ -757,4 +772,334 @@ TEST(ServeServer, EndToEndRealSimulation)
 
     server.stop();
     EXPECT_EQ(server.stats().lostJobs(), 0u);
+}
+
+// ---------------------------------------------------------------
+// Protocol fuzz battery (PR 7): seeded, structure-aware mutations
+// delivered to a live server over the epoll path. The only
+// acceptable outcomes are a typed error reply, a normal reply, or a
+// clean close / no reply — never a crash, never a wedged server.
+// ---------------------------------------------------------------
+
+namespace
+{
+
+enum class FuzzOutcome
+{
+    GotFrame,
+    PeerClosed,
+    TimedOut,
+};
+
+/** Read one frame with a bounded wait (fuzz inputs may get none). */
+FuzzOutcome
+readMaybeFrame(int fd, Frame &frame, int timeout_ms)
+{
+    setIoTimeout(fd, timeout_ms);
+    std::vector<std::uint8_t> buf;
+    std::uint8_t chunk[4096];
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+        std::size_t consumed = 0;
+        if (decodeFrame(buf.data(), buf.size(), frame, consumed) ==
+            FrameStatus::Ok)
+            return FuzzOutcome::GotFrame;
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n == 0)
+            return FuzzOutcome::PeerClosed;
+        if (n < 0)
+            return FuzzOutcome::TimedOut;
+        buf.insert(buf.end(), chunk, chunk + n);
+    }
+    return FuzzOutcome::TimedOut;
+}
+
+/** The server must still answer a pristine request end to end. */
+void
+expectServerStillHealthy(StubServer &srv)
+{
+    Client c = srv.client();
+    const HealthReply h = c.health();
+    EXPECT_EQ(h.state, 0);
+    const SubmitRunReply sub = c.submitRun(sampleRequest());
+    EXPECT_EQ(c.result(sub.jobId, 10'000).state, JobState::Ok);
+}
+
+} // namespace
+
+TEST(ServeFuzz, HeaderBytesFlippedAtEveryOffset)
+{
+    StubServer srv([](const SubmitRunRequest &) {
+        return stubResult();
+    });
+    const auto valid = encodeFrame(
+        MsgType::SubmitRun, encodeSubmitRun(sampleRequest()));
+
+    // Structure-aware: the 12-byte header is magic(4) version(2)
+    // type(2) length(4); flip low bit, high bit, and all bits of
+    // each byte in turn on a fresh connection.
+    for (std::size_t off = 0; off < 12; ++off) {
+        for (const std::uint8_t mask : {0x01, 0x80, 0xff}) {
+            auto bytes = valid;
+            bytes[off] ^= mask;
+            const int fd = rawConnect(srv.server->port());
+            ASSERT_TRUE(sendAll(fd, bytes.data(), bytes.size()));
+            Frame frame;
+            const FuzzOutcome out = readMaybeFrame(fd, frame, 250);
+            if (out == FuzzOutcome::GotFrame) {
+                // A reply must be a well-formed protocol message:
+                // either a typed error or, when the mutation was
+                // harmless to framing, the normal submit reply.
+                EXPECT_TRUE(frame.type == MsgType::Error ||
+                            frame.type == MsgType::SubmitReply)
+                    << "offset " << off << " mask " << int(mask);
+                if (frame.type == MsgType::Error) {
+                    ErrorReply err;
+                    EXPECT_TRUE(decodeError(frame.payload, err));
+                }
+            }
+            // PeerClosed / TimedOut (e.g. an inflated length field
+            // reads as NeedMore) are clean outcomes too.
+            ::close(fd);
+        }
+    }
+    expectServerStillHealthy(srv);
+}
+
+TEST(ServeFuzz, SeededPayloadMutationsGetTypedRepliesOrErrors)
+{
+    StubServer srv([](const SubmitRunRequest &) {
+        return stubResult();
+    });
+    const auto valid = encodeFrame(
+        MsgType::SubmitRun, encodeSubmitRun(sampleRequest()));
+
+    // Deterministic battery: corrupt 1-3 payload bytes per round.
+    // Framing stays intact, so every round must get exactly one
+    // reply: SubmitReply (harmless mutation) or a typed Error
+    // (Malformed / BadRequest decode failure).
+    std::mt19937 rng(0xC0FFEEu);
+    std::uniform_int_distribution<std::size_t> pickOffset(
+        12, valid.size() - 1);
+    std::uniform_int_distribution<int> pickByte(0, 255);
+    for (int round = 0; round < 48; ++round) {
+        auto bytes = valid;
+        const int flips = 1 + round % 3;
+        for (int f = 0; f < flips; ++f)
+            bytes[pickOffset(rng)] =
+                static_cast<std::uint8_t>(pickByte(rng));
+        const int fd = rawConnect(srv.server->port());
+        ASSERT_TRUE(sendAll(fd, bytes.data(), bytes.size()));
+        Frame frame;
+        const FuzzOutcome out = readMaybeFrame(fd, frame, 3000);
+        ASSERT_EQ(out, FuzzOutcome::GotFrame) << "round " << round;
+        EXPECT_TRUE(frame.type == MsgType::Error ||
+                    frame.type == MsgType::SubmitReply)
+            << "round " << round;
+        if (frame.type == MsgType::Error) {
+            ErrorReply err;
+            EXPECT_TRUE(decodeError(frame.payload, err));
+        }
+        ::close(fd);
+    }
+    expectServerStillHealthy(srv);
+}
+
+TEST(ServeFuzz, TruncationAtEveryOffsetNeverWedgesTheServer)
+{
+    StubServer srv([](const SubmitRunRequest &) {
+        return stubResult();
+    });
+    const auto valid = encodeFrame(
+        MsgType::SubmitRun, encodeSubmitRun(sampleRequest()));
+
+    // Send every strict prefix, then hang up mid-frame. The server
+    // must treat each as an abandoned partial read and clean up.
+    for (std::size_t len = 0; len < valid.size(); ++len) {
+        const int fd = rawConnect(srv.server->port());
+        if (len > 0)
+            ASSERT_TRUE(sendAll(fd, valid.data(), len));
+        ::close(fd);
+    }
+    expectServerStillHealthy(srv);
+}
+
+TEST(ServeFuzz, InterleavedPartialWritesAcrossWakeups)
+{
+    StubServer srv([](const SubmitRunRequest &) {
+        return stubResult();
+    });
+
+    // Two connections drip-feed their frames a few bytes at a time,
+    // interleaved, so the server's per-connection reassembly buffers
+    // span many epoll wakeups and must not bleed into each other.
+    SubmitRunRequest reqA = sampleRequest();
+    reqA.seed = 1001;
+    const auto frameA =
+        encodeFrame(MsgType::SubmitRun, encodeSubmitRun(reqA));
+    const auto frameB = encodeFrame(MsgType::Health, {});
+
+    const int fdA = rawConnect(srv.server->port());
+    const int fdB = rawConnect(srv.server->port());
+
+    std::size_t offA = 0, offB = 0;
+    while (offA < frameA.size() || offB < frameB.size()) {
+        if (offA < frameA.size()) {
+            const std::size_t n =
+                std::min<std::size_t>(3, frameA.size() - offA);
+            ASSERT_TRUE(sendAll(fdA, frameA.data() + offA, n));
+            offA += n;
+        }
+        if (offB < frameB.size()) {
+            const std::size_t n =
+                std::min<std::size_t>(2, frameB.size() - offB);
+            ASSERT_TRUE(sendAll(fdB, frameB.data() + offB, n));
+            offB += n;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    Frame fa, fb;
+    ASSERT_TRUE(readOneFrame(fdA, fa));
+    EXPECT_EQ(fa.type, MsgType::SubmitReply);
+    ASSERT_TRUE(readOneFrame(fdB, fb));
+    EXPECT_EQ(fb.type, MsgType::HealthReply);
+    ::close(fdA);
+    ::close(fdB);
+
+    expectServerStillHealthy(srv);
+}
+
+// ---------------------------------------------------------------
+// PR 5 invariants ported to the epoll path
+// ---------------------------------------------------------------
+
+TEST(ServeServer, DrainMidBurstAt256ClientsLosesNothing)
+{
+    StubServer srv(
+        [](const SubmitRunRequest &) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+            return stubResult();
+        },
+        /*workers=*/4, /*queue_capacity=*/4096);
+
+    constexpr unsigned kClients = 256;
+    constexpr unsigned kJobsPerClient = 3;
+    std::atomic<std::uint64_t> terminalSeen{0};
+    std::atomic<std::uint64_t> rejectedDraining{0};
+    std::atomic<std::uint64_t> clientErrors{0};
+
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (unsigned t = 0; t < kClients; ++t)
+        threads.emplace_back([&, t] {
+            try {
+                Client c = srv.client();
+                for (unsigned j = 0; j < kJobsPerClient; ++j) {
+                    SubmitRunRequest req = sampleRequest();
+                    // Overlapping seeds on purpose: the burst mixes
+                    // cache hits, single-flight followers, and
+                    // fresh leaders — all must drain cleanly.
+                    req.seed = (t * kJobsPerClient + j) % 64;
+                    try {
+                        const SubmitRunReply sub = c.submitRun(req);
+                        const JobResultReply res =
+                            c.result(sub.jobId, 60'000);
+                        if (jobStateTerminal(res.state))
+                            terminalSeen.fetch_add(1);
+                    } catch (const ServeError &e) {
+                        if (e.kind() ==
+                                ServeErrorKind::ServerError &&
+                            e.code() == ErrCode::Draining) {
+                            rejectedDraining.fetch_add(1);
+                            break;
+                        }
+                        clientErrors.fetch_add(1);
+                        break;
+                    }
+                }
+            } catch (...) {
+                clientErrors.fetch_add(1);
+            }
+        });
+
+    // SIGTERM-equivalent mid-burst: chameleond's handler calls
+    // exactly this on the flag poll.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    srv.server->requestDrain();
+
+    for (auto &t : threads)
+        t.join();
+    srv.server->awaitDrained();
+
+    const ServerStats st = srv.server->stats();
+    EXPECT_EQ(st.accepted, st.terminal());
+    EXPECT_EQ(st.lostJobs(), 0u);
+    EXPECT_EQ(st.rejectedDraining, rejectedDraining.load());
+    EXPECT_EQ(clientErrors.load(), 0u);
+    EXPECT_GE(terminalSeen.load(), 1u);
+    EXPECT_EQ(srv.server->state(), ServerStateKind::Draining);
+}
+
+TEST(ServeServer, SlowClientIsDroppedWithoutStallingOthers)
+{
+    StubServer srv(
+        [](const SubmitRunRequest &) { return stubResult(); },
+        /*workers=*/2, /*queue_capacity=*/64,
+        /*default_deadline_ms=*/0, [](ServerConfig &cfg) {
+            // Tiny cap so the test trips it quickly.
+            cfg.connBacklogBytes = 2048;
+        });
+
+    // A peer that pipelines metrics requests and never reads: once
+    // the kernel buffers fill, the server-side output queue grows
+    // past connBacklogBytes and the peer must be dropped.
+    const int slow = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(slow, 0);
+    int tiny = 1024;
+    ::setsockopt(slow, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(srv.server->port());
+    ASSERT_EQ(::connect(slow, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+
+    const auto metricsReq = encodeFrame(MsgType::MetricsSnapshot, {});
+    bool alive = true;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(30);
+    while (alive && srv.server->stats().droppedSlowConns == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+        for (int i = 0; i < 100 && alive; ++i)
+            alive = sendAll(slow, metricsReq.data(),
+                            metricsReq.size());
+    }
+
+    // Give the drop a moment to land in the counters.
+    const auto settle = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+    while (srv.server->stats().droppedSlowConns == 0 &&
+           std::chrono::steady_clock::now() < settle)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_GE(srv.server->stats().droppedSlowConns, 1u);
+    ::close(slow);
+
+    // Other clients keep full service while (and after) the slow
+    // peer was backlogged: a round trip stays snappy.
+    const auto t0 = std::chrono::steady_clock::now();
+    Client c = srv.client();
+    const HealthReply h = c.health();
+    EXPECT_EQ(h.state, 0);
+    const SubmitRunReply sub = c.submitRun(sampleRequest());
+    EXPECT_EQ(c.result(sub.jobId, 10'000).state, JobState::Ok);
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_LT(elapsed_ms, 5000.0);
 }
