@@ -1,0 +1,528 @@
+/**
+ * @file
+ * Fleet-resilience sweep: a 3-shard chameleond fleet behind
+ * deterministic chaos proxies, driven by the ShardPool client.
+ *
+ * Topology per cell:
+ *
+ *   clients --> ChaosProxy[i] --> chameleond[i]     (i = 0..2)
+ *
+ * The daemons are real subprocesses (spawned from --daemon PATH) so
+ * the kill cell exercises true kernel-level connection teardown; the
+ * proxies are in-process ChaosProxy instances, rebuilt fresh per
+ * cell so each cell replays its seeded schedule from frame zero.
+ *
+ * Cells, in order:
+ *   baseline          no chaos — the latency floor.
+ *   straggler_nohedge shard 0's downstream delays 25% of frames by
+ *                     400 ms; hedging off. Tail latency shows the
+ *                     straggler.
+ *   straggler_hedge   same schedule, hedging on (fixed 60 ms). The
+ *                     hedge arm rides a healthy shard, so p99 must
+ *                     drop to <= 0.7x the unhedged cell.
+ *   chaos5            ~5% of frames on every link disturbed (2%
+ *                     drop, 2% delay 50 ms, 1% RST).
+ *   chaos5_kill1      same chaos, and daemon 0 is SIGKILLed once
+ *                     half the jobs are done. >= 99% of jobs must
+ *                     still complete within the per-job deadline,
+ *                     none may hang, survivors absorb the ring share.
+ *
+ * Writes BENCH_resilience.json (schema chameleon-resilience-v1) with
+ * per-cell latency/outcome/chaos tallies and a "checks" block; exits
+ * nonzero when a check fails. The chaos schedule digest in the JSON
+ * is a pure function of the seed, so two equal-seed runs must emit
+ * the identical value.
+ *
+ * Flags:
+ *   --daemon PATH   chameleond binary (required)
+ *   --jobs N        jobs per cell (default 120)
+ *   --clients N     concurrent client threads (default 4)
+ *   --seed N        chaos + workload seed (default 7)
+ *   --deadline-ms N per-job completion deadline (default 20000)
+ *   --json P        output path (default BENCH_resilience.json)
+ *   --quiet
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "serve/chaos_proxy.hh"
+#include "serve/pool.hh"
+#include "serve/subprocess.hh"
+
+namespace
+{
+
+using namespace chameleon;
+using namespace chameleon::serve;
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kShards = 3;
+
+struct JobMix
+{
+    const char *design;
+    const char *app;
+};
+
+constexpr JobMix kMix[] = {
+    {"chameleon-opt", "stream"}, {"chameleon", "mcf"},
+    {"alloy-cache", "lbm"},      {"pom", "hpccg"},
+};
+constexpr std::size_t kMixSize = sizeof(kMix) / sizeof(kMix[0]);
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+/** Latencies must be sorted. */
+double
+percentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size()));
+    if (idx >= sorted.size())
+        idx = sorted.size() - 1;
+    return sorted[idx];
+}
+
+struct CellSpec
+{
+    std::string name;
+    /** Per-shard chaos (listen/target ports filled in at run time). */
+    std::vector<ChaosConfig> chaos;
+    bool hedge = false;
+    std::uint32_t hedgeDelayMs = 0;
+    /** SIGKILL daemon 0 once this many jobs completed (0 = never). */
+    unsigned killAfterJobs = 0;
+};
+
+struct CellResult
+{
+    std::string name;
+    unsigned jobs = 0;
+    unsigned completed = 0; ///< terminal ok/degraded outcomes
+    unsigned failed = 0;
+    unsigned withinDeadline = 0;
+    double wallSeconds = 0.0;
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+    PoolStats pool;
+    ChaosStats chaos; ///< summed over the cell's proxies
+};
+
+struct Fleet
+{
+    std::vector<Subprocess> daemons;
+    std::vector<std::uint16_t> daemonPorts;
+};
+
+CellResult
+runCell(const CellSpec &spec, Fleet &fleet, unsigned jobs,
+        unsigned clients, std::uint64_t seed,
+        std::uint64_t seed_base, std::uint32_t deadline_ms)
+{
+    // Fresh proxies per cell: each replays its schedule from frame 0.
+    std::vector<std::unique_ptr<ChaosProxy>> proxies;
+    std::vector<Endpoint> endpoints;
+    for (std::size_t s = 0; s < kShards; ++s) {
+        ChaosConfig cc =
+            s < spec.chaos.size() ? spec.chaos[s] : ChaosConfig{};
+        cc.seed = seed + s;
+        cc.targetPort = fleet.daemonPorts[s];
+        cc.listenPort = 0;
+        proxies.push_back(std::make_unique<ChaosProxy>(cc));
+        const std::uint16_t port = proxies.back()->start();
+        endpoints.push_back(Endpoint{"127.0.0.1", port});
+    }
+
+    PoolConfig pc;
+    pc.endpoints = endpoints;
+    pc.client.connectTimeoutMs = 500;
+    pc.client.ioTimeoutMs = 2'000;
+    pc.retry.maxAttempts = 5;
+    pc.retry.baseBackoffMs = 20;
+    pc.retry.maxBackoffMs = 500;
+    pc.retry.jitterSeed = seed;
+    pc.retry.deadlineMs = deadline_ms;
+    pc.retry.pollQuantumMs = 200;
+    pc.probeIntervalMs = 200;
+    pc.hedgeEnabled = spec.hedge;
+    pc.hedgeDelayMs = spec.hedgeDelayMs;
+    ShardPool pool(pc);
+
+    std::atomic<unsigned> nextJob{0};
+    std::atomic<unsigned> doneJobs{0};
+    std::atomic<unsigned> okJobs{0};
+    std::atomic<unsigned> okWithinDeadline{0};
+    std::vector<std::vector<double>> latPerClient(clients);
+
+    std::atomic<bool> killed{false};
+    std::thread killer;
+    if (spec.killAfterJobs > 0)
+        killer = std::thread([&] {
+            while (doneJobs.load(std::memory_order_relaxed) <
+                   spec.killAfterJobs) {
+                if (doneJobs.load(std::memory_order_relaxed) >= jobs)
+                    return;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+            }
+            fleet.daemons[0].kill(SIGKILL);
+            fleet.daemons[0].wait();
+            killed.store(true, std::memory_order_relaxed);
+            inform("resilience: SIGKILLed shard 0 (pid gone) after "
+                   "%u jobs",
+                   doneJobs.load(std::memory_order_relaxed));
+        });
+
+    const auto t0 = Clock::now();
+    std::vector<std::thread> workers;
+    for (unsigned c = 0; c < clients; ++c)
+        workers.emplace_back([&, c] {
+            for (;;) {
+                const unsigned idx =
+                    nextJob.fetch_add(1, std::memory_order_relaxed);
+                if (idx >= jobs)
+                    return;
+                SubmitRunRequest req;
+                const JobMix &mix = kMix[idx % kMixSize];
+                req.design = mix.design;
+                req.app = mix.app;
+                req.seed = seed_base + idx;
+                req.scale = 256;
+                req.instrPerCore = 4'000;
+                req.minRefsPerCore = 400;
+
+                const auto j0 = Clock::now();
+                const PoolOutcome out = pool.runJob(req);
+                const double ms = msSince(j0);
+                latPerClient[c].push_back(ms);
+                doneJobs.fetch_add(1, std::memory_order_relaxed);
+                if (out.ok) {
+                    okJobs.fetch_add(1, std::memory_order_relaxed);
+                    if (ms <= static_cast<double>(deadline_ms))
+                        okWithinDeadline.fetch_add(
+                            1, std::memory_order_relaxed);
+                } else {
+                    warn("resilience[%s] job %u failed: %s",
+                         spec.name.c_str(), idx, out.error.c_str());
+                }
+            }
+        });
+    for (std::thread &t : workers)
+        t.join();
+    if (killer.joinable())
+        killer.join();
+
+    CellResult res;
+    res.name = spec.name;
+    res.jobs = jobs;
+    res.wallSeconds = msSince(t0) / 1000.0;
+    res.completed = okJobs.load();
+    res.failed = jobs - res.completed;
+    res.withinDeadline = okWithinDeadline.load();
+    res.pool = pool.stats();
+
+    std::vector<double> lat;
+    for (const auto &v : latPerClient)
+        lat.insert(lat.end(), v.begin(), v.end());
+    std::sort(lat.begin(), lat.end());
+    res.p50 = percentile(lat, 0.50);
+    res.p95 = percentile(lat, 0.95);
+    res.p99 = percentile(lat, 0.99);
+
+    for (auto &proxy : proxies) {
+        proxy->stop();
+        const ChaosStats s = proxy->stats();
+        res.chaos.connsAccepted += s.connsAccepted;
+        res.chaos.upstreamDialFailures += s.upstreamDialFailures;
+        res.chaos.framesForwarded += s.framesForwarded;
+        res.chaos.framesDelayed += s.framesDelayed;
+        res.chaos.framesDropped += s.framesDropped;
+        res.chaos.framesDuplicated += s.framesDuplicated;
+        res.chaos.framesSplit += s.framesSplit;
+        res.chaos.resetsInjected += s.resetsInjected;
+        res.chaos.rawFallbacks += s.rawFallbacks;
+    }
+    return res;
+}
+
+std::string
+cellJson(const CellResult &r)
+{
+    std::string out = strFormat(
+        "    {\"cell\": %s, \"jobs\": %u, \"completed\": %u, "
+        "\"failed\": %u, \"within_deadline\": %u, ",
+        jsonQuote(r.name).c_str(), r.jobs, r.completed, r.failed,
+        r.withinDeadline);
+    out += "\"wall_s\": " + jsonNumber(r.wallSeconds, 3) + ", ";
+    out += "\"p50_ms\": " + jsonNumber(r.p50, 3) + ", ";
+    out += "\"p95_ms\": " + jsonNumber(r.p95, 3) + ", ";
+    out += "\"p99_ms\": " + jsonNumber(r.p99, 3) + ", ";
+    out += strFormat(
+        "\"pool\": {\"retries\": %llu, \"failovers\": %llu, "
+        "\"hedges_fired\": %llu, \"hedges_won\": %llu, "
+        "\"shards_ejected\": %llu}, ",
+        static_cast<unsigned long long>(r.pool.retries),
+        static_cast<unsigned long long>(r.pool.failovers),
+        static_cast<unsigned long long>(r.pool.hedgesFired),
+        static_cast<unsigned long long>(r.pool.hedgesWon),
+        static_cast<unsigned long long>(r.pool.shardsEjected));
+    out += strFormat(
+        "\"chaos\": {\"conns\": %llu, \"forwarded\": %llu, "
+        "\"delayed\": %llu, \"dropped\": %llu, \"duplicated\": %llu, "
+        "\"split\": %llu, \"resets\": %llu, \"dial_failures\": %llu}}",
+        static_cast<unsigned long long>(r.chaos.connsAccepted),
+        static_cast<unsigned long long>(r.chaos.framesForwarded),
+        static_cast<unsigned long long>(r.chaos.framesDelayed),
+        static_cast<unsigned long long>(r.chaos.framesDropped),
+        static_cast<unsigned long long>(r.chaos.framesDuplicated),
+        static_cast<unsigned long long>(r.chaos.framesSplit),
+        static_cast<unsigned long long>(r.chaos.resetsInjected),
+        static_cast<unsigned long long>(
+            r.chaos.upstreamDialFailures));
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string daemonPath;
+    unsigned jobs = 120;
+    unsigned clients = 4;
+    std::uint64_t seed = 7;
+    std::uint32_t deadlineMs = 20'000;
+    std::string jsonPath = "BENCH_resilience.json";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char *val = (i + 1 < argc) ? argv[i + 1] : nullptr;
+        auto uns = [&](const char *flag) {
+            if (val == nullptr)
+                fatal("%s expects a value", flag);
+            char *end = nullptr;
+            const unsigned long long v = std::strtoull(val, &end, 10);
+            if (val[0] == '-' || end == val || *end != '\0')
+                fatal("%s expects a non-negative integer", flag);
+            ++i;
+            return v;
+        };
+        if (arg == "--daemon") {
+            if (val == nullptr)
+                fatal("--daemon expects a path");
+            daemonPath = val;
+            ++i;
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(uns("--jobs"));
+        } else if (arg == "--clients") {
+            clients = static_cast<unsigned>(uns("--clients"));
+        } else if (arg == "--seed") {
+            seed = uns("--seed");
+        } else if (arg == "--deadline-ms") {
+            deadlineMs = static_cast<std::uint32_t>(
+                uns("--deadline-ms"));
+        } else if (arg == "--json") {
+            if (val == nullptr)
+                fatal("--json expects a value");
+            jsonPath = val;
+            ++i;
+        } else if (arg == "--quiet") {
+            setQuiet(true);
+        } else {
+            fatal("unknown flag '%s' (see bench/resilience_sweep.cc)",
+                  arg.c_str());
+        }
+    }
+    if (daemonPath.empty())
+        fatal("--daemon PATH is required (the chameleond binary)");
+    if (jobs == 0 || clients == 0)
+        fatal("--jobs and --clients must be at least 1");
+
+    // Spawn the 3-shard fleet.
+    Fleet fleet;
+    fleet.daemons.resize(kShards);
+    for (std::size_t s = 0; s < kShards; ++s) {
+        if (!fleet.daemons[s].spawn({daemonPath, "--port", "0",
+                                     "--workers", "2", "--quiet"}))
+            fatal("failed to spawn %s", daemonPath.c_str());
+        const std::uint16_t port =
+            fleet.daemons[s].readPortLine(10'000);
+        if (port == 0)
+            fatal("daemon %zu never printed its port", s);
+        fleet.daemonPorts.push_back(port);
+    }
+    std::printf("=== resilience_sweep: 3-shard fleet (ports %u %u %u), "
+                "%u jobs x %u clients, seed %llu ===\n",
+                unsigned(fleet.daemonPorts[0]),
+                unsigned(fleet.daemonPorts[1]),
+                unsigned(fleet.daemonPorts[2]), jobs, clients,
+                static_cast<unsigned long long>(seed));
+
+    // Cell specs. The two straggler cells share a seed base so hedge
+    // vs no-hedge compares identical workloads and chaos schedules.
+    auto stragglerChaos = [] {
+        std::vector<ChaosConfig> chaos(kShards);
+        chaos[0].delayRate = 0.25;
+        chaos[0].delayMs = 400;
+        chaos[0].chaosUpstream = false; // downstream replies only
+        return chaos;
+    };
+    auto chaos5 = [] {
+        std::vector<ChaosConfig> chaos(kShards);
+        for (ChaosConfig &cc : chaos) {
+            cc.dropRate = 0.02;
+            cc.delayRate = 0.02;
+            cc.delayMs = 50;
+            cc.resetRate = 0.01;
+        }
+        return chaos;
+    };
+
+    std::vector<CellSpec> cells;
+    cells.push_back(CellSpec{"baseline",
+                             std::vector<ChaosConfig>(kShards), false,
+                             0, 0});
+    cells.push_back(
+        CellSpec{"straggler_nohedge", stragglerChaos(), false, 0, 0});
+    cells.push_back(
+        CellSpec{"straggler_hedge", stragglerChaos(), true, 60, 0});
+    cells.push_back(CellSpec{"chaos5", chaos5(), true, 100, 0});
+    cells.push_back(
+        CellSpec{"chaos5_kill1", chaos5(), true, 100, jobs / 2});
+
+    std::vector<CellResult> results;
+    std::uint64_t seedBase = seed * 1'000'000;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        const CellSpec &spec = cells[c];
+        // Straggler twin cells reuse a seed base; others advance.
+        if (spec.name != "straggler_hedge")
+            seedBase += 10'000;
+        std::printf("\n--- %s ---\n", spec.name.c_str());
+        const CellResult r = runCell(spec, fleet, jobs, clients, seed,
+                                     seedBase, deadlineMs);
+        std::printf(
+            "%-18s jobs %3u ok %3u failed %3u in-deadline %3u  "
+            "p50 %7.1f ms  p99 %8.1f ms  wall %5.1f s\n"
+            "%-18s retries %llu failovers %llu hedges %llu/%llu "
+            "ejected %llu  chaos drop %llu delay %llu rst %llu\n",
+            spec.name.c_str(), r.jobs, r.completed, r.failed,
+            r.withinDeadline, r.p50, r.p99, r.wallSeconds, "",
+            static_cast<unsigned long long>(r.pool.retries),
+            static_cast<unsigned long long>(r.pool.failovers),
+            static_cast<unsigned long long>(r.pool.hedgesFired),
+            static_cast<unsigned long long>(r.pool.hedgesWon),
+            static_cast<unsigned long long>(r.pool.shardsEjected),
+            static_cast<unsigned long long>(r.chaos.framesDropped),
+            static_cast<unsigned long long>(r.chaos.framesDelayed),
+            static_cast<unsigned long long>(r.chaos.resetsInjected));
+        results.push_back(r);
+    }
+
+    // Tear the survivors down (shard 0 is already SIGKILLed).
+    for (std::size_t s = 1; s < kShards; ++s) {
+        fleet.daemons[s].kill(SIGTERM);
+        fleet.daemons[s].wait();
+    }
+
+    // Checks.
+    const CellResult *nohedge = nullptr, *hedge = nullptr,
+                     *kill = nullptr;
+    for (const CellResult &r : results) {
+        if (r.name == "straggler_nohedge")
+            nohedge = &r;
+        else if (r.name == "straggler_hedge")
+            hedge = &r;
+        else if (r.name == "chaos5_kill1")
+            kill = &r;
+    }
+    const double killAvail =
+        kill && kill->jobs > 0
+            ? static_cast<double>(kill->withinDeadline) /
+                  static_cast<double>(kill->jobs)
+            : 0.0;
+    const double hedgeRatio =
+        (nohedge && hedge && nohedge->p99 > 0.0)
+            ? hedge->p99 / nohedge->p99
+            : 1.0;
+    unsigned unresolved = 0;
+    for (const CellResult &r : results)
+        unresolved += r.jobs - (r.completed + r.failed);
+
+    const bool availOk = killAvail >= 0.99;
+    const bool hedgeOk = hedgeRatio <= 0.7;
+    const bool hangOk = unresolved == 0;
+
+    std::printf("\nchecks: kill availability %.4f (>= 0.99: %s), "
+                "hedge p99 ratio %.3f (<= 0.7: %s), unresolved %u "
+                "(== 0: %s)\n",
+                killAvail, availOk ? "pass" : "FAIL", hedgeRatio,
+                hedgeOk ? "pass" : "FAIL", unresolved,
+                hangOk ? "pass" : "FAIL");
+
+    // The digest is a pure function of the seed and the chaos5 cell
+    // parameters: equal-seed runs emit the identical value.
+    ChaosConfig digestCfg;
+    digestCfg.seed = seed;
+    digestCfg.dropRate = 0.02;
+    digestCfg.delayRate = 0.02;
+    digestCfg.resetRate = 0.01;
+    const std::uint64_t digest = scheduleDigest(digestCfg, 64, 8);
+
+    std::string out = "{\n";
+    out += "  \"schema\": \"chameleon-resilience-v1\",\n";
+    out += strFormat("  \"seed\": %llu,\n",
+                     static_cast<unsigned long long>(seed));
+    out += strFormat("  \"chaos_schedule_digest\": \"%016llx\",\n",
+                     static_cast<unsigned long long>(digest));
+    out += strFormat("  \"shards\": %zu,\n", kShards);
+    out += strFormat("  \"jobs_per_cell\": %u,\n", jobs);
+    out += strFormat("  \"clients\": %u,\n", clients);
+    out += strFormat("  \"per_job_deadline_ms\": %u,\n", deadlineMs);
+    out += "  \"cells\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        out += cellJson(results[i]);
+        out += (i + 1 < results.size()) ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+    out += "  \"checks\": {\n";
+    out += strFormat("    \"kill_availability\": %s,\n",
+                     jsonNumber(killAvail, 6).c_str());
+    out += strFormat("    \"kill_availability_pass\": %s,\n",
+                     availOk ? "true" : "false");
+    out += strFormat("    \"hedge_p99_ratio\": %s,\n",
+                     jsonNumber(hedgeRatio, 6).c_str());
+    out += strFormat("    \"hedge_p99_ratio_pass\": %s,\n",
+                     hedgeOk ? "true" : "false");
+    out += strFormat("    \"unresolved_jobs\": %u,\n", unresolved);
+    out += strFormat("    \"client_hangs\": 0,\n");
+    out += strFormat("    \"all_pass\": %s\n",
+                     (availOk && hedgeOk && hangOk) ? "true"
+                                                    : "false");
+    out += "  }\n}\n";
+
+    FILE *f = std::fopen(jsonPath.c_str(), "w");
+    if (f == nullptr)
+        fatal("cannot write '%s'", jsonPath.c_str());
+    std::fputs(out.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", jsonPath.c_str());
+
+    return (availOk && hedgeOk && hangOk) ? 0 : 1;
+}

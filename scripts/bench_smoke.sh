@@ -221,6 +221,106 @@ if [ -n "$DAEMON" ] && [ -n "$CTL" ]; then
     rm -f "$DLOG"
 fi
 
+# Fleet-resilience stage (opt-in: CHAM_RESIL_SMOKE=1, needs the
+# chameleond + chameleonctl arguments; the chameleon_chaos binary is
+# expected next to chameleond). Two daemons behind seeded chaos
+# proxies, jobs submitted through the sharded retrying client with
+# hedging enabled: every job must come back exit 0, and both daemons
+# must drain with zero lost jobs despite the injected faults.
+if [ -n "${CHAM_RESIL_SMOKE:-}" ] && [ -n "$DAEMON" ] && [ -n "$CTL" ]
+then
+    CHAOS="$(dirname "$DAEMON")/chameleon_chaos"
+    [ -x "$CHAOS" ] || {
+        echo "bench_smoke: $CHAOS missing for CHAM_RESIL_SMOKE" >&2
+        exit 1
+    }
+    RLOG1="$(mktemp /tmp/bench_smoke.XXXXXX.resil1.log)"
+    RLOG2="$(mktemp /tmp/bench_smoke.XXXXXX.resil2.log)"
+    CLOG1="$(mktemp /tmp/bench_smoke.XXXXXX.chaos1.log)"
+    CLOG2="$(mktemp /tmp/bench_smoke.XXXXXX.chaos2.log)"
+
+    CPID1=""
+    CPID2=""
+    "$DAEMON" --quiet --workers 2 \
+        --scale 256 --instr 10000 --refs 500 > "$RLOG1" 2>&1 &
+    RPID1=$!
+    "$DAEMON" --quiet --workers 2 \
+        --scale 256 --instr 10000 --refs 500 > "$RLOG2" 2>&1 &
+    RPID2=$!
+    trap 'rm -f "$OUT" "$JSON" "$CSV" "$TRACE" \
+            "${TRACE%.json}".cell*.json \
+            "$RLOG1" "$RLOG2" "$CLOG1" "$CLOG2"; \
+          kill "$RPID1" "$RPID2" 2>/dev/null || true; \
+          kill "$CPID1" "$CPID2" 2>/dev/null || true' EXIT
+
+    resil_port() {
+        # $1 = log file, $2 = banner prefix
+        port=""
+        for _ in $(seq 1 50); do
+            port="$(sed -n \
+                "s/^$2: listening on 127\.0\.0\.1:\([0-9]*\)\$/\1/p" \
+                "$1")"
+            [ -n "$port" ] && break
+            sleep 0.1
+        done
+        [ -n "$port" ] || {
+            echo "bench_smoke: $2 never reported its port" >&2
+            cat "$1" >&2
+            exit 1
+        }
+        echo "$port"
+    }
+    RPORT1="$(resil_port "$RLOG1" chameleond)"
+    RPORT2="$(resil_port "$RLOG2" chameleond)"
+
+    # Mild but real chaos on both shards: drops force retries,
+    # delays force hedges, and the seed keeps the schedule
+    # reproducible run to run.
+    "$CHAOS" --target-port "$RPORT1" --seed 11 \
+        --drop 0.02 --delay 0.05 --delay-ms 40 > "$CLOG1" 2>&1 &
+    CPID1=$!
+    "$CHAOS" --target-port "$RPORT2" --seed 12 \
+        --drop 0.02 --delay 0.05 --delay-ms 40 > "$CLOG2" 2>&1 &
+    CPID2=$!
+    CPORT1="$(resil_port "$CLOG1" chameleon_chaos)"
+    CPORT2="$(resil_port "$CLOG2" chameleon_chaos)"
+
+    for design in chameleon chameleon-opt flat-ddr; do
+        "$CTL" --ports "$CPORT1,$CPORT2" --retries 4 --hedge-ms 150 \
+            submit --design "$design" --app stream \
+            --wait 60000 > "$OUT" || {
+            echo "bench_smoke: resilient job for $design failed" >&2
+            cat "$OUT" >&2
+            exit 1
+        }
+        grep -q '"state":"ok"' "$OUT" || {
+            echo "bench_smoke: resilient $design job not ok" >&2
+            cat "$OUT" >&2
+            exit 1
+        }
+    done
+
+    kill -TERM "$CPID1" "$CPID2" 2>/dev/null || true
+    wait "$CPID1" "$CPID2" 2>/dev/null || true
+    for pid in "$RPID1" "$RPID2"; do
+        kill -TERM "$pid"
+        RSTATUS=0
+        wait "$pid" || RSTATUS=$?
+        [ "$RSTATUS" -eq 0 ] || {
+            echo "bench_smoke: resil daemon drain exited $RSTATUS" >&2
+            cat "$RLOG1" "$RLOG2" >&2
+            exit 1
+        }
+    done
+    grep -q 'lost=0' "$RLOG1" && grep -q 'lost=0' "$RLOG2" || {
+        echo "bench_smoke: resil daemons reported lost jobs" >&2
+        cat "$RLOG1" "$RLOG2" >&2
+        exit 1
+    }
+    rm -f "$RLOG1" "$RLOG2" "$CLOG1" "$CLOG2"
+    echo "bench_smoke: resilience fleet stage OK"
+fi
+
 # ThreadSanitizer stage (opt-in: CHAM_TSAN_BIN_DIR points at a tsan
 # preset build tree). Runs the serve + result-cache suites, the two
 # with real cross-thread traffic: epoll I/O thread vs worker pool vs

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * chameleon_chaos — standalone deterministic chaos proxy.
+ *
+ *   chameleon_chaos --target-port 9000 [--port 0] [--seed 7]
+ *                   [--drop 0.02] [--delay 0.02] [--delay-ms 50]
+ *                   [--dup 0.01] [--split 0.01] [--split-gap-ms 20]
+ *                   [--reset 0.01] [--upstream-only|--downstream-only]
+ *
+ * Prints "chameleon_chaos: listening on 127.0.0.1:<port>" once the
+ * listener is up (the fleet scripts parse this line), then relays
+ * until SIGINT/SIGTERM, finally printing a one-line fault summary.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/log.hh"
+#include "serve/chaos_proxy.hh"
+
+namespace
+{
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true, std::memory_order_relaxed);
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --target-port PORT [--target-host H] [--port P]\n"
+        "          [--seed N] [--drop R] [--delay R] [--delay-ms MS]\n"
+        "          [--dup R] [--split R] [--split-gap-ms MS]\n"
+        "          [--reset R] [--upstream-only] [--downstream-only]\n",
+        argv0);
+    std::exit(1);
+}
+
+double
+parseRate(const char *argv0, const char *value)
+{
+    char *end = nullptr;
+    const double rate = std::strtod(value, &end);
+    if (end == value || *end != '\0' || rate < 0.0 || rate > 1.0)
+        usage(argv0);
+    return rate;
+}
+
+unsigned long
+parseUnsigned(const char *argv0, const char *value)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(value, &end, 10);
+    if (end == value || *end != '\0')
+        usage(argv0);
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace chameleon;
+    using namespace chameleon::serve;
+
+    ChaosConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--target-port")
+            cfg.targetPort = static_cast<std::uint16_t>(
+                parseUnsigned(argv[0], next()));
+        else if (arg == "--target-host")
+            cfg.targetHost = next();
+        else if (arg == "--port")
+            cfg.listenPort = static_cast<std::uint16_t>(
+                parseUnsigned(argv[0], next()));
+        else if (arg == "--seed")
+            cfg.seed = parseUnsigned(argv[0], next());
+        else if (arg == "--drop")
+            cfg.dropRate = parseRate(argv[0], next());
+        else if (arg == "--delay")
+            cfg.delayRate = parseRate(argv[0], next());
+        else if (arg == "--delay-ms")
+            cfg.delayMs = static_cast<std::uint32_t>(
+                parseUnsigned(argv[0], next()));
+        else if (arg == "--dup")
+            cfg.dupRate = parseRate(argv[0], next());
+        else if (arg == "--split")
+            cfg.splitRate = parseRate(argv[0], next());
+        else if (arg == "--split-gap-ms")
+            cfg.splitGapMs = static_cast<std::uint32_t>(
+                parseUnsigned(argv[0], next()));
+        else if (arg == "--reset")
+            cfg.resetRate = parseRate(argv[0], next());
+        else if (arg == "--upstream-only")
+            cfg.chaosDownstream = false;
+        else if (arg == "--downstream-only")
+            cfg.chaosUpstream = false;
+        else
+            usage(argv[0]);
+    }
+    if (cfg.targetPort == 0)
+        usage(argv[0]);
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    ChaosProxy proxy(cfg);
+    const std::uint16_t port = proxy.start();
+    std::printf("chameleon_chaos: listening on 127.0.0.1:%u\n",
+                unsigned(port));
+    std::printf("chameleon_chaos: target 127.0.0.1:%u seed %llu "
+                "drop %.3f delay %.3f dup %.3f split %.3f reset %.3f\n",
+                unsigned(cfg.targetPort),
+                static_cast<unsigned long long>(cfg.seed),
+                cfg.dropRate, cfg.delayRate, cfg.dupRate,
+                cfg.splitRate, cfg.resetRate);
+    std::fflush(stdout);
+
+    while (!g_stop.load(std::memory_order_relaxed))
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    proxy.stop();
+    const ChaosStats s = proxy.stats();
+    std::printf(
+        "chameleon_chaos: conns %llu forwarded %llu delayed %llu "
+        "dropped %llu duplicated %llu split %llu resets %llu "
+        "dial-failures %llu\n",
+        static_cast<unsigned long long>(s.connsAccepted),
+        static_cast<unsigned long long>(s.framesForwarded),
+        static_cast<unsigned long long>(s.framesDelayed),
+        static_cast<unsigned long long>(s.framesDropped),
+        static_cast<unsigned long long>(s.framesDuplicated),
+        static_cast<unsigned long long>(s.framesSplit),
+        static_cast<unsigned long long>(s.resetsInjected),
+        static_cast<unsigned long long>(s.upstreamDialFailures));
+    return 0;
+}

@@ -1,8 +1,10 @@
 /**
  * @file
- * chameleonctl — command-line client for chameleond.
+ * chameleonctl — command-line client for a chameleond fleet.
  *
  *   chameleonctl --port N [--host H] [--timeout MS] <command> ...
+ *   chameleonctl --ports N1,N2,N3 [--retries N] [--hedge-ms MS]
+ *                [--no-hedge] submit ...
  *
  * Commands:
  *   submit --design D --app A [--seed N] [--scale N] [--instr N]
@@ -10,8 +12,11 @@
  *          [--fault-spikes R] [--oracle] [--deadline MS] [--wait MS]
  *          [--no-cache]
  *       Submit one run. With --wait, block for the result and print
- *       it as one JSON line; exits 0 for ok/degraded, 3 for
- *       failed/timeout, 4 when the wait expired non-terminal.
+ *       it as one JSON line. With --ports, the job is placed on its
+ *       consistent-hash shard and driven by the resilient pool:
+ *       transient failures retry with backoff, dead shards fail over
+ *       along the ring, stragglers are hedged. The JSON line then
+ *       carries "shard", "attempts", "failovers" and "hedged".
  *   status <jobid>      Print the job's state.
  *   result <jobid> [--wait MS]
  *   metrics             Print the daemon metrics snapshot (JSON).
@@ -19,8 +24,17 @@
  *   drain               Ask the daemon to refuse new jobs.
  *   shutdown            Ask the daemon to drain and exit.
  *
- * Exit codes: 0 success, 1 usage, 2 connection/server error,
- * 3 job failed or timed out, 4 wait expired before a terminal state.
+ * Non-submit commands address a single daemon: the first --ports
+ * entry (or --port).
+ *
+ * Exit codes:
+ *   0 success (job finished ok)
+ *   1 usage error
+ *   2 connection / hard protocol / server error
+ *   3 job failed or timed out server-side
+ *   4 wait expired before a terminal state
+ *   5 job finished degraded (faults retired capacity; stats valid)
+ *   6 retries exhausted (every shard/attempt failed transiently)
  */
 
 #include <cerrno>
@@ -28,10 +42,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/json.hh"
 #include "common/log.hh"
 #include "serve/client.hh"
+#include "serve/pool.hh"
+#include "serve/result_cache.hh"
 
 namespace
 {
@@ -65,9 +82,20 @@ parseDouble(const char *flag, const char *raw)
     return v;
 }
 
-/** One JSON line summarizing a result reply. */
+std::uint16_t
+parsePort(const char *flag, const std::string &raw)
+{
+    const std::uint64_t v = parseUnsigned(flag, raw.c_str());
+    if (v == 0 || v > 65535)
+        fatal("%s: port must be in [1, 65535]", flag);
+    return static_cast<std::uint16_t>(v);
+}
+
+/** One JSON line summarizing a result reply; @p outcome adds the
+ *  pool's routing story when the job went through the fleet path. */
 void
-printResult(const JobResultReply &r)
+printResult(const JobResultReply &r, const PoolOutcome *outcome,
+            const Endpoint *shard)
 {
     std::string out = strFormat(
         "{\"job\":%llu,\"state\":%s,\"wall_s\":",
@@ -78,6 +106,16 @@ printResult(const JobResultReply &r)
         out += ",\"cached\":true";
     if (r.cacheFlags & kResultCoalesced)
         out += ",\"coalesced\":true";
+    if (shard != nullptr)
+        out += ",\"shard\":" + jsonQuote(shard->label());
+    if (outcome != nullptr) {
+        out += strFormat(",\"attempts\":%u,\"failovers\":%u",
+                         outcome->attempts, outcome->failovers);
+        out += outcome->hedged ? ",\"hedged\":true"
+                               : ",\"hedged\":false";
+        if (outcome->hedgeWon)
+            out += ",\"hedge_won\":true";
+    }
     if (!r.error.empty())
         out += ",\"error\":" + jsonQuote(r.error);
     if (r.state == JobState::Ok || r.state == JobState::Degraded) {
@@ -104,8 +142,10 @@ printResult(const JobResultReply &r)
 int
 resultExitCode(const JobResultReply &r)
 {
-    if (r.state == JobState::Ok || r.state == JobState::Degraded)
+    if (r.state == JobState::Ok)
         return 0;
+    if (r.state == JobState::Degraded)
+        return 5;
     if (jobStateTerminal(r.state))
         return 3;
     return 4;
@@ -116,7 +156,8 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: chameleonctl --port N [--host H] [--timeout MS] "
+        "usage: chameleonctl --port N | --ports N1,N2,... [--host H] "
+        "[--timeout MS] [--retries N] [--hedge-ms MS] [--no-hedge] "
         "<submit|status|result|metrics|health|drain|shutdown> ...\n");
     return 1;
 }
@@ -127,6 +168,11 @@ int
 main(int argc, char **argv)
 {
     ClientConfig ccfg;
+    std::vector<Endpoint> endpoints;
+    std::string host = "127.0.0.1";
+    unsigned retries = 3;
+    std::uint32_t hedgeMs = 0;
+    bool hedge = true;
     int i = 1;
 
     // Global flags come before the command word.
@@ -134,20 +180,49 @@ main(int argc, char **argv)
         const std::string arg = argv[i];
         const char *val = (i + 1 < argc) ? argv[i + 1] : nullptr;
         if (arg == "--port") {
-            const std::uint64_t v = parseUnsigned("--port", val);
-            if (v == 0 || v > 65535)
-                fatal("--port must be in [1, 65535]");
-            ccfg.port = static_cast<std::uint16_t>(v);
+            if (val == nullptr)
+                fatal("--port expects a value");
+            endpoints.push_back(Endpoint{host, parsePort("--port", val)});
+            ++i;
+        } else if (arg == "--ports") {
+            if (val == nullptr)
+                fatal("--ports expects a comma-separated list");
+            std::string list = val;
+            std::size_t pos = 0;
+            while (pos <= list.size()) {
+                const std::size_t comma = list.find(',', pos);
+                const std::string one = list.substr(
+                    pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+                if (!one.empty())
+                    endpoints.push_back(
+                        Endpoint{host, parsePort("--ports", one)});
+                if (comma == std::string::npos)
+                    break;
+                pos = comma + 1;
+            }
             ++i;
         } else if (arg == "--host") {
             if (val == nullptr)
                 fatal("--host expects a value");
-            ccfg.host = val;
+            host = val;
+            for (Endpoint &ep : endpoints)
+                ep.host = host;
             ++i;
         } else if (arg == "--timeout") {
             ccfg.ioTimeoutMs = static_cast<int>(
                 parseUnsigned("--timeout", val));
             ++i;
+        } else if (arg == "--retries") {
+            retries = static_cast<unsigned>(
+                parseUnsigned("--retries", val));
+            ++i;
+        } else if (arg == "--hedge-ms") {
+            hedgeMs = static_cast<std::uint32_t>(
+                parseUnsigned("--hedge-ms", val));
+            ++i;
+        } else if (arg == "--no-hedge") {
+            hedge = false;
         } else {
             break;
         }
@@ -155,12 +230,13 @@ main(int argc, char **argv)
 
     if (i >= argc)
         return usage();
-    if (ccfg.port == 0)
-        fatal("--port is required (chameleond prints its port at "
-              "startup)");
+    if (endpoints.empty())
+        fatal("--port or --ports is required (chameleond prints its "
+              "port at startup)");
+    ccfg.host = endpoints[0].host;
+    ccfg.port = endpoints[0].port;
 
     const std::string cmd = argv[i++];
-    Client client(ccfg);
 
     try {
         if (cmd == "submit") {
@@ -219,17 +295,59 @@ main(int argc, char **argv)
             if (req.design.empty() || req.app.empty())
                 fatal("submit requires --design and --app");
 
-            const SubmitRunReply sub = client.submitRun(req);
+            // Consistent-hash placement even for fire-and-forget:
+            // job ids are shard-local, so the caller must learn
+            // which daemon owns the job.
+            std::size_t shard = 0;
+            if (endpoints.size() > 1) {
+                std::vector<std::string> labels;
+                labels.reserve(endpoints.size());
+                for (const Endpoint &ep : endpoints)
+                    labels.push_back(ep.label());
+                shard = HashRing(labels).primary(cacheKey(req));
+            }
+
             if (waitMs == 0) {
-                std::printf("{\"job\":%llu,\"queue_depth\":%u}\n",
-                            static_cast<unsigned long long>(sub.jobId),
-                            unsigned(sub.queueDepth));
+                ClientConfig one = ccfg;
+                one.host = endpoints[shard].host;
+                one.port = endpoints[shard].port;
+                Client client(one);
+                const SubmitRunReply sub = client.submitRun(req);
+                std::printf(
+                    "{\"job\":%llu,\"queue_depth\":%u,\"shard\":%s}\n",
+                    static_cast<unsigned long long>(sub.jobId),
+                    unsigned(sub.queueDepth),
+                    jsonQuote(endpoints[shard].label()).c_str());
                 return 0;
             }
-            const JobResultReply r = client.result(sub.jobId, waitMs);
-            printResult(r);
-            return resultExitCode(r);
+
+            PoolConfig pc;
+            pc.endpoints = endpoints;
+            pc.client = ccfg;
+            pc.retry.maxAttempts = retries + 1;
+            pc.retry.deadlineMs = waitMs;
+            // One-shot invocation: failover covers dead shards, so
+            // skip the background prober thread.
+            pc.probeIntervalMs = 0;
+            pc.hedgeEnabled = hedge && endpoints.size() > 1;
+            pc.hedgeDelayMs = hedgeMs;
+            ShardPool pool(pc);
+            const PoolOutcome out = pool.runJob(req);
+            if (!out.ok) {
+                std::fprintf(
+                    stderr,
+                    "chameleonctl: %s (attempts %u, failovers %u)\n",
+                    out.error.c_str(), out.attempts, out.failovers);
+                return out.errorKind ==
+                               ServeErrorKind::RetriesExhausted
+                           ? 6
+                           : 2;
+            }
+            printResult(out.reply, &out, &endpoints[out.shard]);
+            return resultExitCode(out.reply);
         }
+
+        Client client(ccfg);
 
         if (cmd == "status") {
             if (i >= argc)
@@ -254,7 +372,7 @@ main(int argc, char **argv)
                 i += 2;
             }
             const JobResultReply r = client.result(id, waitMs);
-            printResult(r);
+            printResult(r, nullptr, nullptr);
             return resultExitCode(r);
         }
 

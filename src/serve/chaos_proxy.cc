@@ -1,0 +1,514 @@
+#include "serve/chaos_proxy.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+#include "serve/protocol.hh"
+#include "serve/result_cache.hh" // fnv1a64
+
+namespace chameleon::serve
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Longest the relay loop sleeps in poll(); bounds both stop()
+ *  latency and delayed-chunk release jitter. */
+constexpr int kPollSliceMs = 10;
+
+/** FNV-1a over a fixed-width little-endian u64 sequence. */
+std::uint64_t
+hashU64s(const std::uint64_t *vals, std::size_t count)
+{
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(count * 8);
+    for (std::size_t i = 0; i < count; ++i)
+        for (unsigned b = 0; b < 8; ++b)
+            bytes.push_back(
+                static_cast<std::uint8_t>(vals[i] >> (8 * b)));
+    return fnv1a64(bytes.data(), bytes.size());
+}
+
+/** Uniform [0,1) from one hash draw. */
+double
+hashU01(std::uint64_t hash)
+{
+    return static_cast<double>(hash >> 11) *
+           (1.0 / 9007199254740992.0);
+}
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+} // namespace
+
+const char *
+chaosActionLabel(ChaosAction action)
+{
+    switch (action) {
+    case ChaosAction::Forward: return "forward";
+    case ChaosAction::Delay: return "delay";
+    case ChaosAction::Drop: return "drop";
+    case ChaosAction::Duplicate: return "duplicate";
+    case ChaosAction::Split: return "split";
+    case ChaosAction::Reset: return "reset";
+    }
+    return "unknown";
+}
+
+ChaosAction
+plannedAction(const ChaosConfig &cfg, std::uint64_t conn,
+              ChaosDir dir, std::uint64_t frame)
+{
+    const bool enabled = dir == ChaosDir::ClientToServer
+                             ? cfg.chaosUpstream
+                             : cfg.chaosDownstream;
+    if (!enabled)
+        return ChaosAction::Forward;
+
+    const std::uint64_t coords[4] = {
+        cfg.seed, conn, static_cast<std::uint64_t>(dir), frame};
+    const double u = hashU01(hashU64s(coords, 4));
+
+    double band = cfg.dropRate;
+    if (u < band)
+        return ChaosAction::Drop;
+    band += cfg.delayRate;
+    if (u < band)
+        return ChaosAction::Delay;
+    band += cfg.dupRate;
+    if (u < band)
+        return ChaosAction::Duplicate;
+    band += cfg.splitRate;
+    if (u < band)
+        return ChaosAction::Split;
+    band += cfg.resetRate;
+    if (u < band)
+        return ChaosAction::Reset;
+    return ChaosAction::Forward;
+}
+
+std::uint64_t
+scheduleDigest(const ChaosConfig &cfg, std::uint64_t conns,
+               std::uint64_t frames_per_conn)
+{
+    // Fold action codes with the FNV-1a primes so the digest pins
+    // the whole schedule prefix, not just its histogram.
+    std::uint64_t digest = 14695981039346656037ULL;
+    for (std::uint64_t c = 0; c < conns; ++c) {
+        for (unsigned d = 0; d < 2; ++d) {
+            for (std::uint64_t f = 0; f < frames_per_conn; ++f) {
+                const auto a = static_cast<std::uint8_t>(
+                    plannedAction(cfg, c, static_cast<ChaosDir>(d), f));
+                digest ^= a;
+                digest *= 1099511628211ULL;
+            }
+        }
+    }
+    return digest;
+}
+
+ChaosProxy::ChaosProxy(ChaosConfig config) : cfg(std::move(config))
+{
+    const double total = cfg.dropRate + cfg.delayRate + cfg.dupRate +
+                         cfg.splitRate + cfg.resetRate;
+    if (total > 1.0)
+        fatal("chaos rates sum to %.3f (> 1)", total);
+}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+std::uint16_t
+ChaosProxy::start()
+{
+    if (started.load(std::memory_order_relaxed))
+        return boundPort;
+
+    listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        fatal("chaos: socket(): %s", std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(cfg.listenPort);
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0)
+        fatal("chaos: bind(port %u): %s", unsigned(cfg.listenPort),
+              std::strerror(errno));
+    if (::listen(listenFd, 64) < 0)
+        fatal("chaos: listen(): %s", std::strerror(errno));
+
+    socklen_t len = sizeof(addr);
+    ::getsockname(listenFd, reinterpret_cast<sockaddr *>(&addr), &len);
+    boundPort = ntohs(addr.sin_port);
+
+    setNonBlocking(listenFd);
+    stopping.store(false, std::memory_order_relaxed);
+    started.store(true, std::memory_order_relaxed);
+    relay = std::thread([this] { relayLoop(); });
+    return boundPort;
+}
+
+void
+ChaosProxy::stop()
+{
+    if (!started.load(std::memory_order_relaxed))
+        return;
+    stopping.store(true, std::memory_order_relaxed);
+    if (relay.joinable())
+        relay.join();
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+    }
+    for (Conn &conn : conns)
+        closeConn(conn);
+    conns.clear();
+    started.store(false, std::memory_order_relaxed);
+}
+
+ChaosStats
+ChaosProxy::stats() const
+{
+    std::lock_guard<std::mutex> lock(statsMu);
+    return counters;
+}
+
+void
+ChaosProxy::acceptOne()
+{
+    const int client = ::accept(listenFd, nullptr, nullptr);
+    if (client < 0)
+        return;
+
+    {
+        std::lock_guard<std::mutex> lock(statsMu);
+        ++counters.connsAccepted;
+    }
+
+    // Dial the target. A refused dial is itself a fault to relay:
+    // close the client so it observes exactly what a dead shard
+    // looks like.
+    const int upstream = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg.targetPort);
+    bool dialed = upstream >= 0 &&
+                  ::inet_pton(AF_INET, cfg.targetHost.c_str(),
+                              &addr.sin_addr) == 1;
+    if (dialed) {
+        setNonBlocking(upstream);
+        int rc = ::connect(
+            upstream, reinterpret_cast<sockaddr *>(&addr),
+            sizeof(addr));
+        if (rc < 0 && errno == EINPROGRESS) {
+            pollfd pfd{upstream, POLLOUT, 0};
+            rc = ::poll(&pfd, 1, 1'000);
+            int soErr = 0;
+            socklen_t len = sizeof(soErr);
+            ::getsockopt(upstream, SOL_SOCKET, SO_ERROR, &soErr,
+                         &len);
+            dialed = rc > 0 && soErr == 0;
+        } else {
+            dialed = rc == 0;
+        }
+    }
+    if (!dialed) {
+        if (upstream >= 0)
+            ::close(upstream);
+        ::close(client);
+        std::lock_guard<std::mutex> lock(statsMu);
+        ++counters.upstreamDialFailures;
+        return;
+    }
+
+    setNonBlocking(client);
+    const int one = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::setsockopt(upstream, IPPROTO_TCP, TCP_NODELAY, &one,
+                 sizeof(one));
+
+    Conn conn;
+    conn.clientFd = client;
+    conn.upstreamFd = upstream;
+    conn.id = nextConnId++;
+    conns.push_back(std::move(conn));
+}
+
+void
+ChaosProxy::injectReset(Conn &conn)
+{
+    // SO_LINGER {1, 0}: close() sends RST instead of FIN, so both
+    // peers observe ECONNRESET — the abrupt-death case clients must
+    // survive.
+    const linger lg{1, 0};
+    if (conn.clientFd >= 0)
+        ::setsockopt(conn.clientFd, SOL_SOCKET, SO_LINGER, &lg,
+                     sizeof(lg));
+    if (conn.upstreamFd >= 0)
+        ::setsockopt(conn.upstreamFd, SOL_SOCKET, SO_LINGER, &lg,
+                     sizeof(lg));
+    closeConn(conn);
+    std::lock_guard<std::mutex> lock(statsMu);
+    ++counters.resetsInjected;
+}
+
+void
+ChaosProxy::closeConn(Conn &conn)
+{
+    if (conn.clientFd >= 0) {
+        ::close(conn.clientFd);
+        conn.clientFd = -1;
+    }
+    if (conn.upstreamFd >= 0) {
+        ::close(conn.upstreamFd);
+        conn.upstreamFd = -1;
+    }
+    conn.dead = true;
+}
+
+void
+ChaosProxy::pump(Conn &conn, ChaosDir dir)
+{
+    const bool up = dir == ChaosDir::ClientToServer;
+    Pipe &pipe = up ? conn.up : conn.down;
+    const int src = up ? conn.clientFd : conn.upstreamFd;
+    if (src < 0 || pipe.eof)
+        return;
+
+    std::uint8_t chunk[16384];
+    for (;;) {
+        const ssize_t n = ::recv(src, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                errno == EINTR)
+                break;
+            conn.dead = true;
+            return;
+        }
+        if (n == 0) {
+            pipe.eof = true;
+            break;
+        }
+        pipe.rx.insert(pipe.rx.end(), chunk, chunk + n);
+        if (static_cast<std::size_t>(n) < sizeof(chunk))
+            break;
+    }
+
+    const auto now = Clock::now();
+
+    if (pipe.raw) {
+        if (!pipe.rx.empty()) {
+            pipe.outq.push_back(
+                Pipe::Chunk{now, std::move(pipe.rx), 0});
+            pipe.rx.clear();
+        }
+        return;
+    }
+
+    // Cut complete frames off the reassembly buffer and schedule
+    // each according to the seeded plan.
+    for (;;) {
+        Frame frame;
+        std::size_t consumed = 0;
+        const FrameStatus st =
+            decodeFrame(pipe.rx.data(), pipe.rx.size(), frame,
+                        consumed);
+        if (st == FrameStatus::NeedMore)
+            break;
+        if (st != FrameStatus::Ok) {
+            // Not (or no longer) protocol traffic: relay the rest
+            // verbatim instead of wedging the connection.
+            pipe.raw = true;
+            {
+                std::lock_guard<std::mutex> lock(statsMu);
+                ++counters.rawFallbacks;
+            }
+            if (!pipe.rx.empty()) {
+                pipe.outq.push_back(
+                    Pipe::Chunk{now, std::move(pipe.rx), 0});
+                pipe.rx.clear();
+            }
+            return;
+        }
+
+        std::vector<std::uint8_t> bytes(
+            pipe.rx.begin(),
+            pipe.rx.begin() + static_cast<std::ptrdiff_t>(consumed));
+        pipe.rx.erase(pipe.rx.begin(),
+                      pipe.rx.begin() +
+                          static_cast<std::ptrdiff_t>(consumed));
+
+        const ChaosAction action =
+            plannedAction(cfg, conn.id, dir, pipe.frames);
+        ++pipe.frames;
+
+        {
+            std::lock_guard<std::mutex> lock(statsMu);
+            switch (action) {
+            case ChaosAction::Forward: ++counters.framesForwarded; break;
+            case ChaosAction::Delay: ++counters.framesDelayed; break;
+            case ChaosAction::Drop: ++counters.framesDropped; break;
+            case ChaosAction::Duplicate:
+                ++counters.framesDuplicated;
+                break;
+            case ChaosAction::Split: ++counters.framesSplit; break;
+            case ChaosAction::Reset: break; // counted in injectReset
+            }
+        }
+
+        switch (action) {
+        case ChaosAction::Forward:
+            pipe.outq.push_back(Pipe::Chunk{now, std::move(bytes), 0});
+            break;
+        case ChaosAction::Delay:
+            pipe.outq.push_back(Pipe::Chunk{
+                now + std::chrono::milliseconds(cfg.delayMs),
+                std::move(bytes), 0});
+            break;
+        case ChaosAction::Drop:
+            break;
+        case ChaosAction::Duplicate: {
+            std::vector<std::uint8_t> twin = bytes;
+            pipe.outq.push_back(Pipe::Chunk{now, std::move(bytes), 0});
+            pipe.outq.push_back(Pipe::Chunk{now, std::move(twin), 0});
+            break;
+        }
+        case ChaosAction::Split: {
+            const std::size_t half = bytes.size() / 2;
+            std::vector<std::uint8_t> tail(
+                bytes.begin() + static_cast<std::ptrdiff_t>(half),
+                bytes.end());
+            bytes.resize(half);
+            pipe.outq.push_back(Pipe::Chunk{now, std::move(bytes), 0});
+            pipe.outq.push_back(Pipe::Chunk{
+                now + std::chrono::milliseconds(cfg.splitGapMs),
+                std::move(tail), 0});
+            break;
+        }
+        case ChaosAction::Reset:
+            injectReset(conn);
+            return;
+        }
+    }
+}
+
+void
+ChaosProxy::flush(Conn &conn, ChaosDir dir)
+{
+    const bool up = dir == ChaosDir::ClientToServer;
+    Pipe &pipe = up ? conn.up : conn.down;
+    const int dst = up ? conn.upstreamFd : conn.clientFd;
+    if (dst < 0)
+        return;
+
+    const auto now = Clock::now();
+    while (!pipe.outq.empty()) {
+        Pipe::Chunk &front = pipe.outq.front();
+        if (front.releaseAt > now)
+            break;
+        while (front.sent < front.bytes.size()) {
+            const ssize_t n =
+                ::send(dst, front.bytes.data() + front.sent,
+                       front.bytes.size() - front.sent,
+                       MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                    errno == EINTR)
+                    return;
+                conn.dead = true;
+                return;
+            }
+            front.sent += static_cast<std::size_t>(n);
+        }
+        pipe.outq.pop_front();
+    }
+
+    // Source hit EOF and everything scheduled has gone out: pass the
+    // half-close along so request/reply flows terminate cleanly.
+    if (pipe.eof && pipe.outq.empty() && !pipe.halfClosed) {
+        ::shutdown(dst, SHUT_WR);
+        pipe.halfClosed = true;
+    }
+}
+
+void
+ChaosProxy::relayLoop()
+{
+    while (!stopping.load(std::memory_order_relaxed)) {
+        std::vector<pollfd> pfds;
+        pfds.push_back(pollfd{listenFd, POLLIN, 0});
+        for (Conn &conn : conns) {
+            if (conn.dead)
+                continue;
+            short client_ev = POLLIN;
+            short upstream_ev = POLLIN;
+            if (!conn.down.outq.empty())
+                client_ev |= POLLOUT;
+            if (!conn.up.outq.empty())
+                upstream_ev |= POLLOUT;
+            pfds.push_back(pollfd{conn.clientFd, client_ev, 0});
+            pfds.push_back(pollfd{conn.upstreamFd, upstream_ev, 0});
+        }
+
+        ::poll(pfds.data(), pfds.size(), kPollSliceMs);
+        if (stopping.load(std::memory_order_relaxed))
+            break;
+
+        if (pfds[0].revents & POLLIN)
+            acceptOne();
+
+        for (Conn &conn : conns) {
+            if (conn.dead)
+                continue;
+            pump(conn, ChaosDir::ClientToServer);
+            if (conn.dead)
+                continue;
+            pump(conn, ChaosDir::ServerToClient);
+            if (conn.dead)
+                continue;
+            flush(conn, ChaosDir::ClientToServer);
+            if (conn.dead)
+                continue;
+            flush(conn, ChaosDir::ServerToClient);
+
+            // Both directions drained and half-closed: done.
+            if (conn.up.halfClosed && conn.down.halfClosed)
+                closeConn(conn);
+        }
+
+        conns.erase(std::remove_if(conns.begin(), conns.end(),
+                                   [this](Conn &conn) {
+                                       if (conn.dead)
+                                           closeConn(conn);
+                                       return conn.dead;
+                                   }),
+                    conns.end());
+    }
+
+    for (Conn &conn : conns)
+        closeConn(conn);
+    conns.clear();
+}
+
+} // namespace chameleon::serve

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * ChaosProxy: a deterministic, frame-aware TCP fault injector that
+ * sits between clients and one chameleond shard.
+ *
+ * The proxy accepts client connections, dials the target daemon, and
+ * relays protocol frames — except when the seeded schedule says
+ * otherwise. Per (connection, direction, frame) it can
+ *
+ *   Forward    pass the frame through untouched;
+ *   Delay      hold the frame (and, to preserve ordering, everything
+ *              behind it) for delayMs;
+ *   Drop       swallow the frame entirely — the peer sees silence
+ *              and times out;
+ *   Duplicate  forward the frame twice, desyncing naive clients;
+ *   Split      forward the first half of the frame's bytes, pause
+ *              splitGapMs, then the rest — a mid-frame partial
+ *              write;
+ *   Reset      abort both sides with an RST (SO_LINGER zero close).
+ *
+ * Determinism: the action for (conn c, direction d, frame f) is the
+ * pure function plannedAction(cfg, c, d, f) — an FNV-1a hash of
+ * (seed, c, d, f) mapped to [0,1) and compared against the
+ * configured rate bands. Two runs with the same seed, connection
+ * order and frame counts inject exactly the same faults;
+ * scheduleDigest() folds a schedule prefix into one u64 so tests and
+ * benches can assert byte-reproducibility without replaying traffic.
+ *
+ * Streams that stop decoding (bad magic — e.g. after the proxy
+ * itself duplicated a frame upstream of us, or a non-protocol
+ * client) fall back to raw passthrough for the rest of the
+ * connection rather than stalling.
+ *
+ * A dead target is chaos too: when the upstream dial fails the
+ * client connection is closed immediately, which clients observe as
+ * Disconnected — exactly what a SIGKILLed shard looks like.
+ *
+ * One background thread runs the whole proxy (listen + relay, poll()
+ * driven); start() binds and returns the listening port, stop()
+ * tears everything down.
+ */
+
+#ifndef CHAMELEON_SERVE_CHAOS_PROXY_HH
+#define CHAMELEON_SERVE_CHAOS_PROXY_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace chameleon::serve
+{
+
+/** What the schedule decided for one frame. */
+enum class ChaosAction : std::uint8_t
+{
+    Forward = 0,
+    Delay = 1,
+    Drop = 2,
+    Duplicate = 3,
+    Split = 4,
+    Reset = 5,
+};
+
+const char *chaosActionLabel(ChaosAction action);
+
+/** Relay direction, used as the schedule's second coordinate. */
+enum class ChaosDir : std::uint8_t
+{
+    ClientToServer = 0,
+    ServerToClient = 1,
+};
+
+struct ChaosConfig
+{
+    std::string targetHost = "127.0.0.1";
+    std::uint16_t targetPort = 0;
+    /** 0 = pick an ephemeral port (read it from listenPort() after
+     *  start()). */
+    std::uint16_t listenPort = 0;
+    std::uint64_t seed = 1;
+
+    /** Per-frame probabilities; bands are evaluated in the order
+     *  drop, delay, duplicate, split, reset. Sum must be <= 1. */
+    double dropRate = 0.0;
+    double delayRate = 0.0;
+    double dupRate = 0.0;
+    double splitRate = 0.0;
+    double resetRate = 0.0;
+
+    /** Hold time for Delay frames. */
+    std::uint32_t delayMs = 100;
+    /** Pause between the two halves of a Split frame. */
+    std::uint32_t splitGapMs = 20;
+
+    /** Apply chaos to client->server frames. */
+    bool chaosUpstream = true;
+    /** Apply chaos to server->client frames. */
+    bool chaosDownstream = true;
+};
+
+/**
+ * The pure seeded schedule: action for frame @p frame of direction
+ * @p dir on connection @p conn. Depends only on its arguments.
+ */
+ChaosAction plannedAction(const ChaosConfig &cfg, std::uint64_t conn,
+                          ChaosDir dir, std::uint64_t frame);
+
+/**
+ * FNV-1a fold of the planned actions for connections [0, conns) x
+ * both directions x frames [0, frames_per_conn) — one u64 that two
+ * equal-seed runs must agree on.
+ */
+std::uint64_t scheduleDigest(const ChaosConfig &cfg,
+                             std::uint64_t conns,
+                             std::uint64_t frames_per_conn);
+
+struct ChaosStats
+{
+    std::uint64_t connsAccepted = 0;
+    std::uint64_t upstreamDialFailures = 0;
+    std::uint64_t framesForwarded = 0;
+    std::uint64_t framesDelayed = 0;
+    std::uint64_t framesDropped = 0;
+    std::uint64_t framesDuplicated = 0;
+    std::uint64_t framesSplit = 0;
+    std::uint64_t resetsInjected = 0;
+    /** Connections that stopped decoding and went raw. */
+    std::uint64_t rawFallbacks = 0;
+};
+
+class ChaosProxy
+{
+  public:
+    explicit ChaosProxy(ChaosConfig config);
+    ~ChaosProxy();
+
+    ChaosProxy(const ChaosProxy &) = delete;
+    ChaosProxy &operator=(const ChaosProxy &) = delete;
+
+    /** Bind, listen and launch the relay thread. Returns the
+     *  listening port (resolves an ephemeral request). */
+    std::uint16_t start();
+
+    /** Close the listener and every relay, join the thread. */
+    void stop();
+
+    bool running() const
+    {
+        return started.load(std::memory_order_relaxed);
+    }
+    std::uint16_t listenPort() const { return boundPort; }
+    const ChaosConfig &config() const { return cfg; }
+
+    ChaosStats stats() const;
+
+  private:
+    /** One buffered direction of one relayed connection. */
+    struct Pipe
+    {
+        /** Bytes received, not yet cut into frames. */
+        std::vector<std::uint8_t> rx;
+        /** Scheduled output: FIFO of (releaseAt, bytes, offset). */
+        struct Chunk
+        {
+            std::chrono::steady_clock::time_point releaseAt;
+            std::vector<std::uint8_t> bytes;
+            std::size_t sent = 0;
+        };
+        std::deque<Chunk> outq;
+        std::uint64_t frames = 0;
+        bool raw = false; ///< undecodable: passthrough from now on
+        bool eof = false; ///< read side closed; flush then half-close
+        bool halfClosed = false;
+    };
+
+    struct Conn
+    {
+        int clientFd = -1;
+        int upstreamFd = -1;
+        std::uint64_t id = 0;
+        Pipe up;   ///< client -> server
+        Pipe down; ///< server -> client
+        bool dead = false;
+    };
+
+    void relayLoop();
+    void acceptOne();
+    /** Read @p src, frame-cut, schedule chunks onto @p pipe. */
+    void pump(Conn &conn, ChaosDir dir);
+    /** Send released chunks of @p pipe to @p dst. */
+    void flush(Conn &conn, ChaosDir dir);
+    void injectReset(Conn &conn);
+    void closeConn(Conn &conn);
+
+    ChaosConfig cfg;
+    std::uint16_t boundPort = 0;
+    int listenFd = -1;
+    std::atomic<bool> started{false};
+    std::atomic<bool> stopping{false};
+    std::thread relay;
+
+    std::vector<Conn> conns;
+    std::uint64_t nextConnId = 0;
+
+    mutable std::mutex statsMu;
+    ChaosStats counters;
+};
+
+} // namespace chameleon::serve
+
+#endif // CHAMELEON_SERVE_CHAOS_PROXY_HH

@@ -22,10 +22,13 @@ serveErrorKindLabel(ServeErrorKind kind)
 {
     switch (kind) {
     case ServeErrorKind::ConnectFailed: return "connect-failed";
+    case ServeErrorKind::SendFailed: return "send-failed";
     case ServeErrorKind::Timeout: return "timeout";
     case ServeErrorKind::Disconnected: return "disconnected";
     case ServeErrorKind::ProtocolError: return "protocol-error";
     case ServeErrorKind::ServerError: return "server-error";
+    case ServeErrorKind::RetriesExhausted: return "retries-exhausted";
+    case ServeErrorKind::Cancelled: return "cancelled";
     }
     return "unknown";
 }
@@ -158,9 +161,13 @@ Client::roundTrip(MsgType type, const std::vector<std::uint8_t> &payload,
 {
     connect();
 
+    // A peer that restarted between requests surfaces here as EPIPE
+    // or ECONNRESET. fail() closes the socket, so the next request on
+    // this Client reconnects lazily — one typed error per restart,
+    // never a poisoned connection.
     const auto bytes = encodeFrame(type, payload);
     if (!sendAll(fd, bytes.data(), bytes.size()))
-        fail(ServeErrorKind::Disconnected,
+        fail(ServeErrorKind::SendFailed,
              strFormat("send(): %s", std::strerror(errno)));
 
     // Lengthen the socket timeout for calls the server may park
@@ -180,7 +187,8 @@ Client::roundTrip(MsgType type, const std::vector<std::uint8_t> &payload,
         throw ServeError(
             ServeErrorKind::ServerError, err.code,
             strFormat("server error %s: %s", errCodeLabel(err.code),
-                      err.message.c_str()));
+                      err.message.c_str()),
+            err.retryAfterMs);
     }
     return reply;
 }
@@ -188,15 +196,21 @@ Client::roundTrip(MsgType type, const std::vector<std::uint8_t> &payload,
 namespace
 {
 
-/** Reply frames must carry the expected type and decode cleanly. */
+/** Reply frames must carry the expected type and decode cleanly. A
+ *  mismatch means the stream is desynced (e.g. a stale or duplicated
+ *  frame), so the connection is closed — the next request on this
+ *  Client reconnects onto a clean stream. */
 template <typename Reply, typename Decoder>
 Reply
-expectReply(Client &, const Frame &frame, MsgType want, Decoder decode)
+expectReply(Client &client, const Frame &frame, MsgType want,
+            Decoder decode)
 {
     Reply reply{};
-    if (frame.type != want || !decode(frame.payload, reply))
+    if (frame.type != want || !decode(frame.payload, reply)) {
+        client.close();
         throw ServeError(ServeErrorKind::ProtocolError, ErrCode::None,
                          "protocol-error: unexpected reply frame");
+    }
     return reply;
 }
 

@@ -5,10 +5,18 @@
  * bench, and the serve test suite.
  *
  * Every failure is a typed ServeError: connection-level problems
- * (ConnectFailed / Timeout / Disconnected / ProtocolError) and
- * server-side Error frames (the server's ErrCode is preserved in
- * ServeError::code). Callers that treat Busy or Draining as expected
- * outcomes catch the exception and inspect kind()/code().
+ * (ConnectFailed / SendFailed / Timeout / Disconnected /
+ * ProtocolError) and server-side Error frames (the server's ErrCode
+ * is preserved in ServeError::code). Callers that treat Busy or
+ * Draining as expected outcomes catch the exception and inspect
+ * kind()/code().
+ *
+ * A failed call closes the connection, so one Client object survives
+ * a daemon restart: the failing request surfaces one typed
+ * SendFailed/Disconnected error and the next request lazily
+ * reconnects — callers never need to destroy and rebuild the Client.
+ * For automatic backoff-retry on top of this, see
+ * serve/resilient_client.hh.
  */
 
 #ifndef CHAMELEON_SERVE_CLIENT_HH
@@ -39,11 +47,14 @@ struct ClientConfig
 /** Why a client call failed. */
 enum class ServeErrorKind : std::uint8_t
 {
-    ConnectFailed, ///< could not establish the TCP connection
-    Timeout,       ///< send/receive exceeded the io budget
-    Disconnected,  ///< peer closed or reset mid-exchange
-    ProtocolError, ///< undecodable or unexpected reply frame
-    ServerError,   ///< server answered with an Error frame (see code)
+    ConnectFailed,   ///< could not establish the TCP connection
+    SendFailed,      ///< request never left: EPIPE/ECONNRESET on send
+    Timeout,         ///< send/receive exceeded the io budget
+    Disconnected,    ///< peer closed or reset mid-exchange
+    ProtocolError,   ///< undecodable or unexpected reply frame
+    ServerError,     ///< server answered with an Error frame (see code)
+    RetriesExhausted,///< ResilientClient gave up (see nested message)
+    Cancelled,       ///< a hedged twin won; this arm was abandoned
 };
 
 const char *serveErrorKindLabel(ServeErrorKind kind);
@@ -51,18 +62,23 @@ const char *serveErrorKindLabel(ServeErrorKind kind);
 class ServeError : public std::runtime_error
 {
   public:
-    ServeError(ServeErrorKind kind, ErrCode code, const std::string &what)
-        : std::runtime_error(what), errKind(kind), errCode(code)
+    ServeError(ServeErrorKind kind, ErrCode code, const std::string &what,
+               std::uint32_t retry_after_ms = 0)
+        : std::runtime_error(what), errKind(kind), errCode(code),
+          retryAfter(retry_after_ms)
     {
     }
 
     ServeErrorKind kind() const { return errKind; }
     /** Meaningful when kind() == ServerError; None otherwise. */
     ErrCode code() const { return errCode; }
+    /** Server's retry-after hint in ms (Busy rejections); 0 = none. */
+    std::uint32_t retryAfterMs() const { return retryAfter; }
 
   private:
     ServeErrorKind errKind;
     ErrCode errCode;
+    std::uint32_t retryAfter;
 };
 
 class Client

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * ShardPool: client-side sharding, failover and hedging over a fleet
+ * of chameleond daemons.
+ *
+ * Placement. Jobs are placed on a consistent-hash ring (HashRing,
+ * kPoolVnodes virtual nodes per shard, FNV-1a point hashes) keyed by
+ * the job's content-addressed cache key — the same key the daemons
+ * use for their result caches, so repeated specs land on the shard
+ * that already holds their result. Adding or removing one shard of N
+ * remaps only ~1/N of the key space (the Chang et al. discipline the
+ * server-side cache already follows); ringRemapFraction() measures
+ * this and the resil tests assert it.
+ *
+ * Health. A background prober walks the endpoints every
+ * probeIntervalMs, issuing Health requests. A shard is ejected after
+ * probeFailThreshold consecutive failures (or when it reports
+ * draining/stopped) and restored on the first successful probe. Job
+ * arms that hit hard connection errors mark the shard suspect
+ * passively, so ejection does not wait for the prober's next tick.
+ *
+ * Failover. runJob() walks the key's ring ordering — primary owner
+ * first, then the next distinct shards — skipping ejected shards.
+ * Each candidate gets a full ResilientClient retry cycle; only when a
+ * shard's retries are exhausted (or it is draining) does the arm fail
+ * over to the next owner.
+ *
+ * Hedging. If the primary arm has not produced a result after a
+ * hedge delay — fixed via PoolConfig::hedgeDelayMs or derived from
+ * the pool's observed p99 latency — a second arm starts at the next
+ * ring owner. First result wins; the loser observes a shared cancel
+ * flag and abandons within one poll quantum. Hedging duplicate work
+ * is safe by construction: simulations are seeded-deterministic and
+ * the daemons content-address results, so a duplicate either
+ * coalesces with the in-flight twin or hits the cache.
+ *
+ * Thread-safety: runJob() may be called from many threads at once;
+ * shard state, latency window and counters are mutex-guarded.
+ */
+
+#ifndef CHAMELEON_SERVE_POOL_HH
+#define CHAMELEON_SERVE_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/resilient_client.hh"
+
+namespace chameleon
+{
+
+class MetricsRegistry;
+
+namespace serve
+{
+
+/** Virtual nodes per shard on the consistent-hash ring. */
+constexpr unsigned kPoolVnodes = 64;
+
+/** One daemon address. */
+struct Endpoint
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+
+    std::string label() const;
+};
+
+/**
+ * Consistent-hash ring over shard indices. Pure data structure —
+ * no locking, no health state — so remap behaviour is unit-testable
+ * in isolation.
+ */
+class HashRing
+{
+  public:
+    HashRing() = default;
+    /** @p labels one stable label per shard (Endpoint::label()). */
+    explicit HashRing(const std::vector<std::string> &labels,
+                      unsigned vnodes = kPoolVnodes);
+
+    bool empty() const { return points.empty(); }
+
+    /** Shard owning @p key (first ring point clockwise of it). */
+    std::size_t primary(std::uint64_t key) const;
+
+    /**
+     * Up to @p max distinct shards in ring order starting at the
+     * key's primary — the failover/hedge candidate sequence.
+     */
+    std::vector<std::size_t> owners(std::uint64_t key,
+                                    std::size_t max) const;
+
+  private:
+    struct Point
+    {
+        std::uint64_t hash;
+        std::size_t shard;
+    };
+
+    std::vector<Point> points; ///< sorted by hash
+    std::size_t shardCount = 0;
+};
+
+/**
+ * Fraction of @p keys whose primary owner differs between @p before
+ * and @p after — the remap cost of a ring change.
+ */
+double ringRemapFraction(const HashRing &before, const HashRing &after,
+                         const std::vector<std::uint64_t> &keys);
+
+struct PoolConfig
+{
+    std::vector<Endpoint> endpoints;
+    ClientConfig client;     ///< per-connection timeouts (port ignored)
+    RetryPolicy retry;       ///< per-shard retry cycle
+    /** Health probe cadence; 0 disables the prober thread. */
+    std::uint32_t probeIntervalMs = 250;
+    /** Consecutive probe failures before a shard is ejected. */
+    unsigned probeFailThreshold = 2;
+    bool hedgeEnabled = true;
+    /** Fixed hedge delay; 0 = derive from observed p99 latency. */
+    std::uint32_t hedgeDelayMs = 0;
+    /** Bounds for the derived hedge delay. */
+    std::uint32_t hedgeDelayMinMs = 20;
+    std::uint32_t hedgeDelayMaxMs = 2'000;
+    /** Latency samples required before deriving; until then
+     *  hedgeDelayDefaultMs applies. */
+    std::size_t hedgeMinSamples = 20;
+    std::uint32_t hedgeDelayDefaultMs = 100;
+};
+
+/** Outcome of one pooled job. */
+struct PoolOutcome
+{
+    bool ok = false;
+    JobResultReply reply;
+    /** Shard index that produced the reply (ok) or last tried. */
+    std::size_t shard = 0;
+    unsigned attempts = 0;  ///< submit attempts across all arms
+    unsigned failovers = 0; ///< shard-to-shard handoffs
+    bool hedged = false;    ///< a hedge arm was fired
+    bool hedgeWon = false;  ///< ...and it produced the winning reply
+    /** Failure detail (ok == false). */
+    ServeErrorKind errorKind = ServeErrorKind::RetriesExhausted;
+    ErrCode errorCode = ErrCode::None;
+    std::string error;
+};
+
+struct PoolStats
+{
+    std::uint64_t jobs = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t failovers = 0;
+    std::uint64_t hedgesFired = 0;
+    std::uint64_t hedgesWon = 0;
+    std::uint64_t shardsUp = 0;
+    std::uint64_t shardsEjected = 0;
+    std::uint64_t probeFailures = 0;
+};
+
+class ShardPool
+{
+  public:
+    explicit ShardPool(PoolConfig config);
+    ~ShardPool();
+
+    ShardPool(const ShardPool &) = delete;
+    ShardPool &operator=(const ShardPool &) = delete;
+
+    /**
+     * Place @p req on its ring owner and run it to a terminal result,
+     * failing over across shards and hedging stragglers. Never
+     * throws ServeError — failures come back typed in the outcome.
+     */
+    PoolOutcome runJob(const SubmitRunRequest &req);
+
+    /** Ring owner the pool would try first for @p req right now
+     *  (ejections considered). Exposed for tests and ctl output. */
+    std::size_t primaryFor(const SubmitRunRequest &req) const;
+
+    std::size_t shardCount() const { return eps.size(); }
+    const Endpoint &endpoint(std::size_t shard) const
+    {
+        return eps[shard];
+    }
+    bool shardUp(std::size_t shard) const;
+
+    /** Hedge delay a job fired now would use. */
+    std::uint32_t currentHedgeDelayMs() const;
+
+    PoolStats stats() const;
+
+    /** Register pool gauges/counters (serve_retries,
+     *  serve_failovers, serve_hedges_*, pool_shard_*). The registry
+     *  must not outlive the pool. */
+    void registerMetrics(MetricsRegistry &registry);
+
+    /** Run one probe pass synchronously (tests; the background
+     *  prober calls this too). */
+    void probeOnce();
+
+  private:
+    struct ShardState
+    {
+        bool up = true;
+        unsigned consecutiveFailures = 0;
+    };
+
+    /** Result slot shared between the primary and hedge arms. */
+    struct JobCtx
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool done = false;
+        PoolOutcome out;
+        std::atomic<bool> cancel{false};
+        int armsLive = 0;
+    };
+
+    /**
+     * One arm: walk @p owners from @p first_owner, full retry cycle
+     * per shard, publish the first terminal result into @p ctx.
+     */
+    void runArm(const SubmitRunRequest &req,
+                const std::vector<std::size_t> &owners,
+                std::size_t first_owner, bool is_hedge,
+                const std::shared_ptr<JobCtx> &ctx);
+
+    void noteShardFailure(std::size_t shard);
+    void noteShardSuccess(std::size_t shard);
+    void recordLatencyMs(double ms);
+    void proberLoop();
+    void reapFinishedArms();
+
+    PoolConfig cfg;
+    std::vector<Endpoint> eps;
+    HashRing ring;
+
+    mutable std::mutex mu;
+    std::vector<ShardState> shards;       ///< guarded by mu
+    std::vector<double> latencyWindowMs;  ///< guarded by mu (ring buf)
+    std::size_t latencyNext = 0;          ///< guarded by mu
+    PoolStats counters;                   ///< guarded by mu
+
+    std::atomic<bool> stopping{false};
+    std::thread prober;
+
+    std::mutex armsMu;
+    std::vector<std::thread> arms; ///< hedge-loser stragglers
+};
+
+} // namespace serve
+} // namespace chameleon
+
+#endif // CHAMELEON_SERVE_POOL_HH

@@ -508,6 +508,7 @@ encodeError(const ErrorReply &m)
     WireWriter w;
     w.u16(static_cast<std::uint16_t>(m.code));
     w.str(m.message);
+    w.u32(m.retryAfterMs);
     return w.take();
 }
 
@@ -516,7 +517,8 @@ decodeError(const std::vector<std::uint8_t> &p, ErrorReply &m)
 {
     WireReader r(p);
     std::uint16_t code = 0;
-    if (!r.u16(code) || !r.str(m.message) || !r.atEnd() || code > 9)
+    if (!r.u16(code) || !r.str(m.message) ||
+        !r.u32(m.retryAfterMs) || !r.atEnd() || code > 9)
         return false;
     m.code = static_cast<ErrCode>(code);
     return true;

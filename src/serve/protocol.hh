@@ -57,8 +57,10 @@ namespace chameleon::serve
 
 constexpr std::uint32_t kFrameMagic = 0x434D4844;
 /** v2: SubmitRun carries a no_cache flag, JobResultReply carries
- *  cache flags (served-from-cache / coalesced). */
-constexpr std::uint16_t kProtocolVersion = 2;
+ *  cache flags (served-from-cache / coalesced).
+ *  v3: Error frames carry a retry-after hint (ms) so Busy/overload
+ *  rejections tell the client when another attempt can succeed. */
+constexpr std::uint16_t kProtocolVersion = 3;
 constexpr std::size_t kFrameHeaderBytes = 12;
 /** Hard payload cap: anything larger is rejected before allocation. */
 constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
@@ -338,6 +340,12 @@ struct ErrorReply
 {
     ErrCode code = ErrCode::None;
     std::string message;
+    /**
+     * For Busy (queue full or deadline-aware admission reject): the
+     * server's estimate of how long until a retry can be admitted,
+     * in milliseconds. 0 = no hint.
+     */
+    std::uint32_t retryAfterMs = 0;
 };
 
 /**

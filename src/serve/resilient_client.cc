@@ -1,0 +1,198 @@
+#include "serve/resilient_client.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
+
+#include "common/log.hh"
+
+namespace chameleon::serve
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** SplitMix64 step: the jitter stream. */
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+/** Uniform double in [0, 1) from one SplitMix64 draw. */
+double
+u01(std::uint64_t &state)
+{
+    return static_cast<double>(splitMix64(state) >> 11) *
+           (1.0 / 9007199254740992.0);
+}
+
+} // namespace
+
+bool
+serveErrorRetriable(const ServeError &e, const RetryPolicy &policy)
+{
+    switch (e.kind()) {
+    case ServeErrorKind::ConnectFailed:
+    case ServeErrorKind::SendFailed:
+    case ServeErrorKind::Timeout:
+    case ServeErrorKind::Disconnected:
+        return true;
+    // A desynced stream (e.g. a chaos-duplicated frame) is cured by
+    // the reconnect the failed call already performed: the next
+    // attempt starts on a clean stream.
+    case ServeErrorKind::ProtocolError:
+        return true;
+    case ServeErrorKind::ServerError:
+        switch (e.code()) {
+        case ErrCode::Busy:
+        case ErrCode::Internal:
+            return true;
+        // The daemon restarted and forgot the job id; resubmitting is
+        // idempotent thanks to the content-addressed result cache.
+        case ErrCode::UnknownJob:
+            return true;
+        case ErrCode::Draining:
+            return policy.retryDraining;
+        default:
+            return false;
+        }
+    case ServeErrorKind::RetriesExhausted:
+    case ServeErrorKind::Cancelled:
+        return false;
+    }
+    return false;
+}
+
+std::uint32_t
+retryBackoffMs(const RetryPolicy &policy, unsigned attempt,
+               std::uint64_t &jitter_state)
+{
+    double backoff = static_cast<double>(policy.baseBackoffMs);
+    for (unsigned i = 0; i < attempt; ++i)
+        backoff *= policy.backoffMultiplier;
+    backoff = std::min(backoff, static_cast<double>(policy.maxBackoffMs));
+    if (policy.jitter > 0.0)
+        backoff *= 1.0 - policy.jitter * u01(jitter_state);
+    return static_cast<std::uint32_t>(std::max(backoff, 0.0));
+}
+
+ResilientClient::ResilientClient(ClientConfig client_config,
+                                 RetryPolicy policy)
+    : cli(std::move(client_config)), pol(policy),
+      jitterState(policy.jitterSeed)
+{
+}
+
+void
+ResilientClient::interruptibleSleep(std::uint32_t ms,
+                                    const std::atomic<bool> *cancel)
+{
+    constexpr std::uint32_t kSliceMs = 20;
+    const auto until = Clock::now() + std::chrono::milliseconds(ms);
+    while (Clock::now() < until) {
+        if (cancel && cancel->load(std::memory_order_relaxed))
+            throw ServeError(ServeErrorKind::Cancelled, ErrCode::None,
+                             "cancelled: twin request finished first");
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min<std::uint32_t>(kSliceMs, ms)));
+    }
+}
+
+JobResultReply
+ResilientClient::runJob(const SubmitRunRequest &req, AttemptStats *stats,
+                        const std::atomic<bool> *cancel)
+{
+    const auto start = Clock::now();
+    const bool bounded = pol.deadlineMs > 0;
+    const auto deadline =
+        start + std::chrono::milliseconds(pol.deadlineMs);
+
+    auto remaining_ms = [&]() -> std::int64_t {
+        if (!bounded)
+            return std::numeric_limits<std::int64_t>::max();
+        return std::chrono::duration_cast<std::chrono::milliseconds>(
+                   deadline - Clock::now())
+            .count();
+    };
+    auto check_cancel = [&] {
+        if (cancel && cancel->load(std::memory_order_relaxed))
+            throw ServeError(ServeErrorKind::Cancelled, ErrCode::None,
+                             "cancelled: twin request finished first");
+    };
+
+    AttemptStats local;
+    AttemptStats &s = stats ? *stats : local;
+    s = AttemptStats{};
+
+    std::string last_error = "no attempt made";
+    ErrCode last_code = ErrCode::None;
+    const unsigned max_attempts = std::max(1u, pol.maxAttempts);
+
+    for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+        check_cancel();
+        if (remaining_ms() <= 0)
+            break;
+        ++s.attempts;
+        if (attempt > 0)
+            ++s.retries;
+        try {
+            const SubmitRunReply submitted = cli.submitRun(req);
+            // Poll in short quanta so cancellation and the deadline
+            // budget are honoured even while the job runs.
+            for (;;) {
+                check_cancel();
+                const std::int64_t left = remaining_ms();
+                if (left <= 0)
+                    throw ServeError(
+                        ServeErrorKind::Timeout, ErrCode::None,
+                        strFormat("deadline budget of %u ms exhausted "
+                                  "waiting for job %llu",
+                                  pol.deadlineMs,
+                                  static_cast<unsigned long long>(
+                                      submitted.jobId)));
+                const auto wait = static_cast<std::uint32_t>(
+                    std::min<std::int64_t>(left, pol.pollQuantumMs));
+                const JobResultReply reply =
+                    cli.result(submitted.jobId, wait);
+                if (jobStateTerminal(reply.state))
+                    return reply;
+            }
+        } catch (const ServeError &e) {
+            if (e.kind() == ServeErrorKind::Cancelled)
+                throw;
+            if (!serveErrorRetriable(e, pol))
+                throw;
+            last_error = e.what();
+            last_code = e.code();
+            if (attempt + 1 >= max_attempts)
+                break;
+            std::uint32_t backoff =
+                retryBackoffMs(pol, attempt, jitterState);
+            // The server knows when its overload clears; trust it.
+            backoff = std::max(backoff, e.retryAfterMs());
+            const std::int64_t left = remaining_ms();
+            if (left <= 0)
+                break;
+            backoff = static_cast<std::uint32_t>(
+                std::min<std::int64_t>(backoff, left));
+            s.backoffMsTotal += backoff;
+            interruptibleSleep(backoff, cancel);
+        }
+    }
+
+    throw ServeError(
+        ServeErrorKind::RetriesExhausted, last_code,
+        strFormat("retries-exhausted after %u attempt(s): %s",
+                  s.attempts, last_error.c_str()),
+        0);
+}
+
+} // namespace chameleon::serve

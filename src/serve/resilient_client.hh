@@ -1,0 +1,121 @@
+/**
+ * @file
+ * ResilientClient: a retrying wrapper around the blocking Client.
+ *
+ * One runJob() call carries a job from submission to a terminal
+ * result under a single deadline budget:
+ *
+ *  - transient failures (ConnectFailed, SendFailed, Timeout,
+ *    Disconnected, ProtocolError desync, Busy, Internal, UnknownJob
+ *    after a daemon restart) are retried with exponential backoff and
+ *    deterministic seeded jitter;
+ *  - a Busy reply's retry-after hint floors the backoff, so the
+ *    client sleeps exactly as long as the server expects the
+ *    overload to last;
+ *  - the deadline budget is propagated across attempts: per-attempt
+ *    socket waits are clipped to the remaining budget and the loop
+ *    throws RetriesExhausted rather than overrun the caller's
+ *    deadline;
+ *  - resubmission after a mid-flight disconnect is safe by
+ *    construction: simulations are seeded-deterministic and the
+ *    server content-addresses jobs, so a duplicate submit coalesces
+ *    or hits the result cache instead of double-running.
+ *
+ * Results are fetched with short server-side waits in a poll loop so
+ * a caller-supplied cancel flag (the hedging path in pool.hh) is
+ * honoured within one poll quantum — an abandoned arm never blocks
+ * for the full result wait.
+ *
+ * All jitter is drawn from a seeded SplitMix64 stream: two
+ * ResilientClients with the same policy seed back off identically,
+ * which keeps fleet benches reproducible.
+ */
+
+#ifndef CHAMELEON_SERVE_RESILIENT_CLIENT_HH
+#define CHAMELEON_SERVE_RESILIENT_CLIENT_HH
+
+#include <atomic>
+#include <cstdint>
+
+#include "serve/client.hh"
+
+namespace chameleon::serve
+{
+
+/** When and how runJob() retries. */
+struct RetryPolicy
+{
+    /** Submit attempts before RetriesExhausted. */
+    unsigned maxAttempts = 4;
+    std::uint32_t baseBackoffMs = 20;
+    std::uint32_t maxBackoffMs = 1'000;
+    double backoffMultiplier = 2.0;
+    /** Fraction of each backoff randomized away: sleep is
+     *  backoff * (1 - jitter * u01). */
+    double jitter = 0.5;
+    /** Seed for the deterministic jitter stream. */
+    std::uint64_t jitterSeed = 1;
+    /**
+     * Whole-operation budget across every attempt, backoff and
+     * result wait, in ms; 0 = unlimited.
+     */
+    std::uint32_t deadlineMs = 60'000;
+    /** Server-side wait per result poll; bounds cancel latency. */
+    std::uint32_t pollQuantumMs = 250;
+    /** Retry when the daemon answers Draining (pool arms prefer to
+     *  fail over to another shard instead). */
+    bool retryDraining = false;
+};
+
+/** Per-call bookkeeping runJob() fills for its caller. */
+struct AttemptStats
+{
+    unsigned attempts = 0;
+    unsigned retries = 0;
+    std::uint32_t backoffMsTotal = 0;
+};
+
+/** True when @p e is worth retrying under @p policy. */
+bool serveErrorRetriable(const ServeError &e, const RetryPolicy &policy);
+
+/** Deterministic backoff for @p attempt (0-based) of @p policy;
+ *  @p jitter_state advances the SplitMix64 jitter stream. */
+std::uint32_t retryBackoffMs(const RetryPolicy &policy, unsigned attempt,
+                             std::uint64_t &jitter_state);
+
+class ResilientClient
+{
+  public:
+    ResilientClient(ClientConfig client_config, RetryPolicy policy);
+
+    /**
+     * Submit @p req and block until a terminal JobResultReply,
+     * retrying transient failures under the policy's deadline
+     * budget. Throws ServeError: RetriesExhausted when the attempts
+     * or the budget run out (code() preserves the last server
+     * error), Cancelled as soon as @p cancel is observed true, or
+     * the original error when it is not retriable.
+     */
+    JobResultReply runJob(const SubmitRunRequest &req,
+                          AttemptStats *stats = nullptr,
+                          const std::atomic<bool> *cancel = nullptr);
+
+    /** One health probe (no retries — probers poll anyway). */
+    HealthReply health() { return cli.health(); }
+
+    Client &client() { return cli; }
+    const RetryPolicy &policy() const { return pol; }
+
+  private:
+    /** Sleep @p ms in small slices, honouring @p cancel. */
+    void interruptibleSleep(std::uint32_t ms,
+                            const std::atomic<bool> *cancel);
+
+    Client cli;
+    RetryPolicy pol;
+    std::uint64_t jitterState;
+};
+
+} // namespace chameleon::serve
+
+#endif // CHAMELEON_SERVE_RESILIENT_CLIENT_HH

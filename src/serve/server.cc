@@ -28,11 +28,13 @@ secondsSince(Clock::time_point t0, Clock::time_point t1)
 }
 
 std::vector<std::uint8_t>
-errorFrame(ErrCode code, std::string message)
+errorFrame(ErrCode code, std::string message,
+           std::uint32_t retry_after_ms = 0)
 {
     ErrorReply err;
     err.code = code;
     err.message = std::move(message);
+    err.retryAfterMs = retry_after_ms;
     return encodeFrame(MsgType::Error, encodeError(err));
 }
 
@@ -653,12 +655,39 @@ Server::handleSubmit(const Frame &frame)
         }
 
         if (!finalized && reply.jobId == 0) {
+            // Deadline-aware admission: if the queue-wait estimate
+            // already exceeds this job's deadline, queueing it only
+            // guarantees a TimedOut — reject now with a hint for
+            // when a retry could actually be served.
+            const double ewma_ms = ewmaServiceSec * 1000.0;
+            const double wait_est_ms =
+                ewma_ms * static_cast<double>(pending.size()) /
+                static_cast<double>(cfg.workers);
+            const std::uint32_t deadline_ms =
+                req.deadlineMs ? req.deadlineMs
+                               : cfg.defaultDeadlineMs;
+            if (deadline_ms > 0 &&
+                wait_est_ms > static_cast<double>(deadline_ms)) {
+                ++counters.admissionRejected;
+                const auto hint = static_cast<std::uint32_t>(
+                    wait_est_ms - static_cast<double>(deadline_ms));
+                return errorFrame(
+                    ErrCode::Busy,
+                    strFormat("queue wait estimate %.0f ms exceeds "
+                              "the %u ms deadline",
+                              wait_est_ms, deadline_ms),
+                    hint > 0 ? hint : 1);
+            }
             if (pending.size() >= cfg.queueCapacity) {
                 ++counters.rejectedBusy;
+                // Hint: expected time until one queue slot frees.
+                const auto hint = static_cast<std::uint32_t>(
+                    ewma_ms / static_cast<double>(cfg.workers));
                 return errorFrame(
                     ErrCode::Busy,
                     strFormat("job queue full (%zu pending); retry",
-                              pending.size()));
+                              pending.size()),
+                    hint > 0 ? hint : 1);
             }
             job.id = nextJobId++;
             job.cacheLeader = cache_on;
@@ -886,6 +915,16 @@ Server::finalizeJob(Job &job, JobState state, RunResult result,
     job.result = std::move(result);
     job.error = std::move(error);
     job.wallSeconds = wall_seconds;
+    // Feed the admission estimator from real executions only: cache
+    // hits (wall 0) and coalesced twins would drag the mean toward
+    // zero and break the queue-wait estimate.
+    if (wall_seconds > 0.0 && job.cacheFlags == 0 &&
+        (state == JobState::Ok || state == JobState::Degraded ||
+         state == JobState::Failed))
+        ewmaServiceSec = ewmaServiceSec == 0.0
+                             ? wall_seconds
+                             : 0.8 * ewmaServiceSec +
+                                   0.2 * wall_seconds;
     switch (state) {
       case JobState::Ok:
         ++counters.completedOk;
@@ -1083,6 +1122,7 @@ struct MetricDef
 constexpr MetricDef kServeMetrics[] = {
     {"serve_jobs_accepted", MetricKind::Counter},
     {"serve_jobs_rejected_busy", MetricKind::Counter},
+    {"serve_admission_rejected", MetricKind::Counter},
     {"serve_jobs_rejected_drain", MetricKind::Counter},
     {"serve_jobs_rejected_invalid", MetricKind::Counter},
     {"serve_jobs_ok", MetricKind::Counter},
@@ -1144,6 +1184,7 @@ Server::metricsJson()
     metricShadow = {
         static_cast<double>(s.accepted),
         static_cast<double>(s.rejectedBusy),
+        static_cast<double>(s.admissionRejected),
         static_cast<double>(s.rejectedDraining),
         static_cast<double>(s.rejectedInvalid),
         static_cast<double>(s.completedOk),

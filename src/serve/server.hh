@@ -38,9 +38,16 @@
  * queued and its terminal Ok/Degraded result is inserted on
  * completion. SubmitRunRequest::noCache opts a job out of all three.
  *
- * Admission control is unchanged: a full pending queue answers
- * Error{Busy}; the daemon never queues unboundedly and simulator work
- * never runs on the I/O thread.
+ * Admission control is deadline-aware overload control, not a binary
+ * full-queue check: the server keeps an EWMA of recent job service
+ * times and estimates the queue wait a new job would see. A job whose
+ * estimated wait already exceeds its deadline is rejected at the door
+ * (counted in stats().admissionRejected) instead of burning a queue
+ * slot on work that is guaranteed to time out. Every Busy reply —
+ * admission or full-queue — carries a retry-after hint (ms) derived
+ * from the same estimate, so clients back off for exactly as long as
+ * the overload is expected to last. The daemon never queues
+ * unboundedly and simulator work never runs on the I/O thread.
  *
  * Graceful drain (SIGTERM in chameleond, or a Drain/Shutdown frame):
  * new submissions are refused with Error{Draining}, every accepted
@@ -112,6 +119,9 @@ struct ServerStats
 {
     std::uint64_t accepted = 0;
     std::uint64_t rejectedBusy = 0;
+    /** Deadline-aware admission: queue-wait estimate already exceeds
+     *  the job's deadline, so queueing it would only waste a slot. */
+    std::uint64_t admissionRejected = 0;
     std::uint64_t rejectedDraining = 0;
     std::uint64_t rejectedInvalid = 0;
     std::uint64_t completedOk = 0;
@@ -309,6 +319,12 @@ class Server
     std::uint64_t nextJobId = 1;
     unsigned runningJobs = 0;
     ServerStats counters;
+    /**
+     * EWMA of recent simulated-job service times (seconds), fed by
+     * finalizeJob for real (non-cache-hit) completions; drives the
+     * deadline-aware admission estimate. Guarded by mtx.
+     */
+    double ewmaServiceSec = 0.0;
 
     /**
      * Cross-thread completion channel: (fd, frame bytes) pairs the

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Minimal fork/exec child-process handle for fleet tests and benches.
+ *
+ * The crash-recovery suite needs *real* processes: SIGKILLing a
+ * daemon mid-burst exercises kernel-level connection teardown (RSTs
+ * on a dead socket) that no in-process mock reproduces. Subprocess
+ * wraps pipe+fork+execv with just enough control for that job:
+ * spawn with argv, read the child's stdout line-by-line (to harvest
+ * "listening on 127.0.0.1:<port>" banners), signal it, and reap it.
+ *
+ * Header-only; used by tests/test_resilience.cc and
+ * bench/resilience_sweep.cc. Not a general-purpose process library —
+ * stderr is inherited, stdin is /dev/null, and there is no exec
+ * environment control.
+ */
+
+#ifndef CHAMELEON_SERVE_SUBPROCESS_HH
+#define CHAMELEON_SERVE_SUBPROCESS_HH
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace chameleon::serve
+{
+
+class Subprocess
+{
+  public:
+    Subprocess() = default;
+
+    ~Subprocess()
+    {
+        if (running())
+            kill(SIGKILL);
+        wait();
+        if (outFd >= 0)
+            ::close(outFd);
+    }
+
+    Subprocess(const Subprocess &) = delete;
+    Subprocess &operator=(const Subprocess &) = delete;
+
+    Subprocess(Subprocess &&other) noexcept { *this = std::move(other); }
+
+    Subprocess &
+    operator=(Subprocess &&other) noexcept
+    {
+        if (this != &other) {
+            if (running())
+                kill(SIGKILL);
+            wait();
+            if (outFd >= 0)
+                ::close(outFd);
+            childPid = other.childPid;
+            outFd = other.outFd;
+            exitStatus = other.exitStatus;
+            reaped = other.reaped;
+            lineBuf = std::move(other.lineBuf);
+            other.childPid = -1;
+            other.outFd = -1;
+            other.reaped = true;
+        }
+        return *this;
+    }
+
+    /**
+     * fork/exec @p argv (argv[0] = binary path). Returns false when
+     * the fork or exec plumbing fails; an exec failure inside the
+     * child surfaces as immediate child exit 127.
+     */
+    bool
+    spawn(const std::vector<std::string> &argv)
+    {
+        int pipefd[2];
+        if (::pipe(pipefd) != 0)
+            return false;
+
+        childPid = ::fork();
+        if (childPid < 0) {
+            ::close(pipefd[0]);
+            ::close(pipefd[1]);
+            return false;
+        }
+        if (childPid == 0) {
+            ::close(pipefd[0]);
+            ::dup2(pipefd[1], STDOUT_FILENO);
+            ::close(pipefd[1]);
+            const int devnull = ::open("/dev/null", O_RDONLY);
+            if (devnull >= 0) {
+                ::dup2(devnull, STDIN_FILENO);
+                ::close(devnull);
+            }
+            std::vector<char *> cargv;
+            cargv.reserve(argv.size() + 1);
+            for (const std::string &a : argv)
+                cargv.push_back(const_cast<char *>(a.c_str()));
+            cargv.push_back(nullptr);
+            ::execv(cargv[0], cargv.data());
+            _exit(127);
+        }
+
+        ::close(pipefd[1]);
+        outFd = pipefd[0];
+        reaped = false;
+        return true;
+    }
+
+    pid_t pid() const { return childPid; }
+
+    bool
+    running()
+    {
+        if (childPid < 0 || reaped)
+            return false;
+        const pid_t rc = ::waitpid(childPid, &exitStatus, WNOHANG);
+        if (rc == childPid)
+            reaped = true;
+        return !reaped;
+    }
+
+    void
+    kill(int sig)
+    {
+        if (childPid >= 0 && !reaped)
+            ::kill(childPid, sig);
+    }
+
+    /** Blocking reap; returns the exit code (or -signal, or -1). */
+    int
+    wait()
+    {
+        if (childPid < 0)
+            return -1;
+        if (!reaped) {
+            if (::waitpid(childPid, &exitStatus, 0) != childPid)
+                return -1;
+            reaped = true;
+        }
+        if (WIFEXITED(exitStatus))
+            return WEXITSTATUS(exitStatus);
+        if (WIFSIGNALED(exitStatus))
+            return -WTERMSIG(exitStatus);
+        return -1;
+    }
+
+    /**
+     * Read one '\n'-terminated line of the child's stdout, waiting
+     * up to @p timeout_ms. Returns false on timeout or EOF.
+     */
+    bool
+    readLine(std::string &line, int timeout_ms)
+    {
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(timeout_ms);
+        for (;;) {
+            const auto nl = lineBuf.find('\n');
+            if (nl != std::string::npos) {
+                line = lineBuf.substr(0, nl);
+                lineBuf.erase(0, nl + 1);
+                return true;
+            }
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count();
+            if (left <= 0 || outFd < 0)
+                return false;
+            pollfd pfd{outFd, POLLIN, 0};
+            const int rc = ::poll(&pfd, 1, static_cast<int>(left));
+            if (rc <= 0)
+                return false;
+            char chunk[4096];
+            const ssize_t n = ::read(outFd, chunk, sizeof(chunk));
+            if (n <= 0)
+                return false;
+            lineBuf.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+    /**
+     * Scan stdout lines for "listening on 127.0.0.1:<port>" (the
+     * chameleond / chameleon_chaos startup banner) and return the
+     * port, or 0 on timeout.
+     */
+    std::uint16_t
+    readPortLine(int timeout_ms)
+    {
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(timeout_ms);
+        std::string line;
+        for (;;) {
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count();
+            if (left <= 0)
+                return 0;
+            if (!readLine(line, static_cast<int>(left)))
+                return 0;
+            const auto pos = line.find("listening on 127.0.0.1:");
+            if (pos == std::string::npos)
+                continue;
+            const unsigned long port = std::strtoul(
+                line.c_str() + pos +
+                    std::strlen("listening on 127.0.0.1:"),
+                nullptr, 10);
+            if (port > 0 && port < 65536)
+                return static_cast<std::uint16_t>(port);
+        }
+    }
+
+  private:
+    pid_t childPid = -1;
+    int outFd = -1;
+    int exitStatus = 0;
+    bool reaped = true;
+    std::string lineBuf;
+};
+
+} // namespace chameleon::serve
+
+#endif // CHAMELEON_SERVE_SUBPROCESS_HH
