@@ -40,6 +40,13 @@
  *   --queue N         server pending-queue bound (default 128)
  *   --scale/--instr/--refs/--seed   job size knobs (serve-sized
  *                     defaults: 256 / 20000 / 1000)
+ *   --trace-sample-pct P   attach a protocol-v4 trace context to P%
+ *                     of requests (sampled flag set); the server
+ *                     records per-stage spans for those. 0 (default)
+ *                     sends no context at all — the overhead guard in
+ *                     bench_smoke.sh compares 100 against 0.
+ *   --trace-out PATH  write the in-process server's span rings as
+ *                     Perfetto JSON after the drain stage
  *   --json P          write results (default BENCH_serving.json)
  *   --quiet
  */
@@ -55,6 +62,7 @@
 
 #include "common/json.hh"
 #include "common/log.hh"
+#include "obs/span.hh"
 #include "serve/client.hh"
 #include "serve/server.hh"
 
@@ -143,7 +151,7 @@ ClientTally
 clientLoop(std::uint16_t port, unsigned client_idx, unsigned requests,
            const BenchOptions &bench, SweepMode mode,
            unsigned cached_pct, unsigned cold_pool,
-           std::uint64_t seed_base)
+           std::uint64_t seed_base, double trace_pct)
 {
     ClientTally tally;
     ClientConfig ccfg;
@@ -181,6 +189,12 @@ clientLoop(std::uint16_t port, unsigned client_idx, unsigned requests,
             req.app = mix.app;
             req.seed = seed_base + client_idx * 1000 + r;
             req.noCache = mode == SweepMode::Uncached;
+        }
+
+        if (trace_pct > 0.0) {
+            newTraceId(req.traceIdHi, req.traceIdLo);
+            if (double(req.traceIdLo % 10'000) < trace_pct * 100.0)
+                req.traceFlags |= kTraceSampled;
         }
 
         const auto t0 = Clock::now();
@@ -242,7 +256,7 @@ struct SweepResult
 SweepResult
 runSweep(Server &server, unsigned clients, unsigned requests,
          SweepMode mode, unsigned cached_pct, unsigned cold_pool,
-         std::uint64_t seed_base)
+         std::uint64_t seed_base, double trace_pct)
 {
     const std::uint16_t port = server.port();
     const BenchOptions &bench = server.config().bench;
@@ -256,7 +270,8 @@ runSweep(Server &server, unsigned clients, unsigned requests,
     for (unsigned c = 0; c < clients; ++c)
         threads.emplace_back([&, c] {
             tallies[c] = clientLoop(port, c, requests, bench, mode,
-                                    cached_pct, cold_pool, seed_base);
+                                    cached_pct, cold_pool, seed_base,
+                                    trace_pct);
         });
     for (auto &t : threads)
         t.join();
@@ -370,6 +385,8 @@ main(int argc, char **argv)
     scfg.bench.instrPerCore = 20'000;
     scfg.bench.minRefsPerCore = 1'000;
     std::string jsonPath = "BENCH_serving.json";
+    std::string traceOut;
+    double tracePct = 0.0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -419,6 +436,23 @@ main(int argc, char **argv)
             scfg.bench.minRefsPerCore = uns("--refs");
         } else if (arg == "--seed") {
             scfg.bench.seed = uns("--seed");
+        } else if (arg == "--trace-sample-pct") {
+            if (val == nullptr)
+                fatal("--trace-sample-pct expects a value");
+            errno = 0;
+            char *end = nullptr;
+            tracePct = std::strtod(val, &end);
+            if (end == val || *end != '\0' || errno == ERANGE ||
+                !(tracePct >= 0.0 && tracePct <= 100.0))
+                fatal("--trace-sample-pct expects a percentage in "
+                      "[0, 100], got '%s'",
+                      val);
+            ++i;
+        } else if (arg == "--trace-out") {
+            if (val == nullptr)
+                fatal("--trace-out expects a value");
+            traceOut = val;
+            ++i;
         } else if (arg == "--json") {
             if (val == nullptr)
                 fatal("--json expects a value");
@@ -461,7 +495,7 @@ main(int argc, char **argv)
     for (unsigned clients : powerOfTwoCounts(uncachedMax)) {
         const SweepResult r =
             runSweep(server, clients, requests, SweepMode::Uncached,
-                     cachedPct, coldPool, seedBase);
+                     cachedPct, coldPool, seedBase, tracePct);
         printSweepRow(r);
         uncachedSweeps.push_back(r);
         // Fresh seeds each sweep keep every uncached job unique.
@@ -480,7 +514,7 @@ main(int argc, char **argv)
     for (unsigned clients : powerOfTwoCounts(maxClients)) {
         const SweepResult r =
             runSweep(server, clients, requests, SweepMode::Mixed,
-                     cachedPct, coldPool, seedBase);
+                     cachedPct, coldPool, seedBase, tracePct);
         printSweepRow(r);
         cachedSweeps.push_back(r);
         seedBase += static_cast<std::uint64_t>(clients) * 1000 +
@@ -501,7 +535,7 @@ main(int argc, char **argv)
     });
     const SweepResult drainSweep =
         runSweep(server, maxClients, requests, SweepMode::Mixed,
-                 cachedPct, coldPool, seedBase);
+                 cachedPct, coldPool, seedBase, tracePct);
     drainer.join();
 
     const ServerStats st = server.stats();
@@ -524,10 +558,22 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(cache.evictions),
                 cache.entries, cache.bytes);
 
+    // Export spans after the drain (no job still recording) and
+    // before stop(), same ordering as chameleond's own --trace-out.
+    if (!traceOut.empty() && server.spanSink() != nullptr) {
+        try {
+            server.spanSink()->writePerfettoJson(traceOut);
+            std::printf("wrote spans to %s\n", traceOut.c_str());
+        } catch (const std::exception &ex) {
+            warn("serve_load: span export failed: %s", ex.what());
+        }
+    }
     server.stop();
 
     std::string out = "{\n";
     out += "  \"schema\": \"chameleon-serve-load-v2\",\n";
+    out += strFormat("  \"trace_sample_pct\": %s,\n",
+                     jsonNumber(tracePct, 3).c_str());
     out += strFormat("  \"workers\": %u,\n", server.config().workers);
     out += strFormat("  \"cache_bytes\": %zu,\n",
                      server.config().cacheBytes);

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * trace_merge — stitch per-process span files into one cross-process
+ * Perfetto timeline.
+ *
+ *   trace_merge FILE... [--trace-id HEX32] [--out PATH] [--quiet]
+ *
+ * Inputs are the Perfetto JSON files SpanSink::writePerfettoJson
+ * emits (chameleond --trace-out, chameleonctl --trace-out, or
+ * serve_load --trace-out). The merge corrects each server file's
+ * clock using the offsets the client files learned from the
+ * SubmitRunReply timestamp echo, keyed by the in-band server id —
+ * proxies between client and daemon do not break the matching.
+ *
+ * Without --out, prints the stitch report (files, applied offsets,
+ * per-trace span counts, tree shape of the largest trace). With
+ * --out, additionally writes the merged timeline as one Perfetto
+ * JSON document (pid = input file index) loadable in ui.perfetto.dev.
+ * --trace-id keeps only one trace's spans.
+ *
+ * Exit codes: 0 merged cleanly, 1 usage, 2 a file failed to load.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "obs/trace_merge.hh"
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: trace_merge FILE... [--trace-id HEX32] "
+                 "[--out PATH] [--quiet]\n");
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace chameleon;
+
+    std::vector<std::string> paths;
+    std::string outPath;
+    std::uint64_t traceHi = 0;
+    std::uint64_t traceLo = 0;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out") {
+            if (i + 1 >= argc)
+                fatal("--out expects a path");
+            outPath = argv[++i];
+        } else if (arg == "--trace-id") {
+            if (i + 1 >= argc)
+                fatal("--trace-id expects a 32-digit hex id");
+            const std::string hex = argv[++i];
+            if (hex.size() != 32 ||
+                !parseHexU64(hex.substr(0, 16), traceHi) ||
+                !parseHexU64(hex.substr(16), traceLo))
+                fatal("--trace-id: '%s' is not a 32-digit hex id",
+                      hex.c_str());
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            fatal("unknown flag '%s'", arg.c_str());
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty())
+        return usage();
+
+    std::vector<SpanFile> files;
+    files.reserve(paths.size());
+    for (const std::string &path : paths) {
+        SpanFile file;
+        std::string error;
+        if (!loadSpanFile(path, file, error)) {
+            std::fprintf(stderr, "trace_merge: %s: %s\n",
+                         path.c_str(), error.c_str());
+            return 2;
+        }
+        files.push_back(std::move(file));
+    }
+
+    const MergedTrace merged =
+        mergeSpans(std::move(files), traceHi, traceLo);
+
+    if (!quiet)
+        std::fputs(formatMergeReport(merged).c_str(), stdout);
+
+    if (!outPath.empty()) {
+        std::ofstream out(outPath, std::ios::trunc);
+        if (!out)
+            fatal("cannot write '%s'", outPath.c_str());
+        out << mergedToPerfettoJson(merged);
+        if (!quiet)
+            std::printf("wrote %s (%zu spans, %zu files)\n",
+                        outPath.c_str(), merged.spans.size(),
+                        merged.files.size());
+    }
+    return 0;
+}

@@ -20,6 +20,13 @@
 # snapshot metrics, then SIGTERM it under a drain and require exit 0
 # with zero lost jobs.
 #
+# With a serve_load binary as the fifth argument it additionally runs
+# the serving-tracing-overhead guard: the same closed-loop load with
+# --trace-sample-pct 100 (every request carries a sampled protocol-v4
+# trace context, so the server records per-stage spans for all of
+# them) must keep peak throughput within 3% of the untraced run. The
+# paired result is written to BENCH_observability.json (schema v2).
+#
 # With CHAM_TSAN_BIN_DIR set to a ThreadSanitizer build tree (cmake
 # --preset tsan && cmake --build --preset tsan) it additionally runs
 # the concurrency-heavy serve suites (test_serve, test_result_cache)
@@ -27,13 +34,14 @@
 # smoke run rather than only surfacing as rare production hangs.
 #
 # Usage: bench_smoke.sh <fig15_hitrate> [micro_core]
-#                       [chameleond] [chameleonctl]
+#                       [chameleond] [chameleonctl] [serve_load]
 set -eu
 
-BENCH="${1:?usage: bench_smoke.sh <fig15_hitrate binary> [micro_core] [chameleond] [chameleonctl]}"
+BENCH="${1:?usage: bench_smoke.sh <fig15_hitrate binary> [micro_core] [chameleond] [chameleonctl] [serve_load]}"
 MICRO="${2:-}"
 DAEMON="${3:-}"
 CTL="${4:-}"
+LOADGEN="${5:-}"
 OUT="$(mktemp /tmp/bench_smoke.XXXXXX.txt)"
 JSON="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
 CSV="$(mktemp /tmp/bench_smoke.XXXXXX.csv)"
@@ -219,6 +227,80 @@ if [ -n "$DAEMON" ] && [ -n "$CTL" ]; then
         exit 1
     }
     rm -f "$DLOG"
+fi
+
+# Serving-tracing-overhead guard (needs the serve_load binary): the
+# same closed-loop load, untraced vs --trace-sample-pct 100 (every
+# request carries a sampled trace context, so the daemon buffers and
+# flushes per-stage spans for all of them). The traced peak
+# throughput must stay within 3% of the untraced peak; like the
+# micro_core guard, an over-budget reading on this shared vCPU is
+# retried and only a 3-for-3 miss fails. The paired result lands in
+# BENCH_observability.json (schema chameleon-observability-v2).
+if [ -n "$LOADGEN" ]; then
+    UNJSON="${JSON%.json}.serve_untraced.json"
+    TRJSON="${JSON%.json}.serve_traced.json"
+    peak_tput() {
+        grep -o '"throughput_jobs_per_s": [0-9.eE+-]*' "$1" | awk '
+            { if ($2 + 0 > max) max = $2 + 0 }
+            END { print max + 0 }'
+    }
+    serve_guard_ok=0
+    for attempt in 1 2 3; do
+        "$LOADGEN" --max-clients 8 --requests 12 --cached-pct 90 \
+            --cold-pool 16 --workers 2 --scale 256 --instr 2000 \
+            --refs 200 --trace-sample-pct 0 \
+            --json "$UNJSON" --quiet > /dev/null
+        "$LOADGEN" --max-clients 8 --requests 12 --cached-pct 90 \
+            --cold-pool 16 --workers 2 --scale 256 --instr 2000 \
+            --refs 200 --trace-sample-pct 100 \
+            --json "$TRJSON" --quiet > /dev/null
+        UNTRACED="$(peak_tput "$UNJSON")"
+        TRACED="$(peak_tput "$TRJSON")"
+        if awk -v base="$UNTRACED" -v traced="$TRACED" '
+            BEGIN {
+                if (base <= 0 || traced <= 0) {
+                    print "bench_smoke: missing serve_load peaks" \
+                        > "/dev/stderr"
+                    exit 1
+                }
+                overhead = (base - traced) / base
+                printf "bench_smoke: serving tracing overhead " \
+                       "%.2f%% (untraced %.0f jobs/s, traced " \
+                       "%.0f jobs/s)\n", \
+                       overhead * 100.0, base, traced
+                if (overhead > 0.03)
+                    exit 1
+            }'; then
+            serve_guard_ok=1
+            break
+        fi
+    done
+    if [ "$serve_guard_ok" != 1 ]; then
+        echo "bench_smoke: serving tracing overhead exceeded 3% in" \
+             "3 attempts" >&2
+        rm -f "$UNJSON" "$TRJSON"
+        exit 1
+    fi
+    awk -v base="$UNTRACED" -v traced="$TRACED" '
+        BEGIN {
+            overhead = (base - traced) / base
+            printf "{\n"
+            printf "  \"schema\": \"chameleon-observability-v2\",\n"
+            printf "  \"serving_tracing_overhead\": {\n"
+            printf "    \"command\": \"serve_load --max-clients 8"
+            printf " --requests 12 --cached-pct 90 --cold-pool 16"
+            printf " --workers 2 --scale 256 --instr 2000 --refs"
+            printf " 200 --trace-sample-pct {0,100}\",\n"
+            printf "    \"untraced_peak_jobs_per_s\": %.1f,\n", base
+            printf "    \"traced_peak_jobs_per_s\": %.1f,\n", traced
+            printf "    \"overhead_pct\": %.2f,\n", overhead * 100.0
+            printf "    \"budget_pct\": 3.0\n"
+            printf "  }\n"
+            printf "}\n"
+        }' > BENCH_observability.json
+    rm -f "$UNJSON" "$TRJSON"
+    echo "bench_smoke: serving tracing guard OK"
 fi
 
 # Fleet-resilience stage (opt-in: CHAM_RESIL_SMOKE=1, needs the

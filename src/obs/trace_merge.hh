@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Cross-process trace stitching: load the per-process span files
+ * written by SpanSink::writePerfettoJson, correct each file's clock
+ * onto one reference timeline using the offsets the clients learned
+ * from the SubmitRunReply timestamp echo, and merge everything into
+ * a single Perfetto JSON document keyed by trace id — one pid per
+ * process, parent/child nesting intact.
+ *
+ * This extends trace_reader: the same internal JSON parser, but a
+ * span-aware loader ("ph":"X" complete events with hex ids) instead
+ * of the instant/counter loader the simulator traces use.
+ */
+
+#ifndef CHAMELEON_OBS_TRACE_MERGE_HH
+#define CHAMELEON_OBS_TRACE_MERGE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/span.hh"
+
+namespace chameleon
+{
+
+/** One span loaded back from a per-process file. */
+struct LoadedSpan
+{
+    SpanRecord rec;         ///< timestamps still on the local clock
+    std::string process;    ///< owning file's process label
+    std::size_t processIdx = 0; ///< index into SpanFileSet::files
+};
+
+/** One per-process span file. */
+struct SpanFile
+{
+    std::string path;
+    std::string process;
+    std::uint64_t serverId = 0; ///< 0 = client-side process
+    /** server_id → offset estimate (serverMono − localMono, µs). */
+    std::map<std::uint64_t, std::int64_t> offsets;
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;
+    std::vector<SpanRecord> spans;
+    /** Correction applied by mergeSpans (reference − local), µs. */
+    std::int64_t appliedOffsetUs = 0;
+};
+
+/** Parse one SpanSink Perfetto file; false + @p error on failure. */
+bool loadSpanFile(const std::string &path, SpanFile &out,
+                  std::string &error);
+bool loadSpanJson(const std::string &text, SpanFile &out,
+                  std::string &error);
+
+/** A merged, clock-corrected multi-process timeline. */
+struct MergedTrace
+{
+    std::vector<SpanFile> files; ///< appliedOffsetUs filled in
+    /** All spans, timestamps on the reference clock, sorted by
+     *  start; LoadedSpan::processIdx points into files. */
+    std::vector<LoadedSpan> spans;
+    std::uint64_t droppedTotal = 0;
+};
+
+/**
+ * Stitch @p files onto one clock. The reference is the first client
+ * file (no server_id) or, failing that, the first file. A server
+ * file is shifted by −offset for the best offset any client file
+ * holds for its server_id; a server nobody measured stays at 0 (on
+ * this repo's single-host fleets CLOCK_MONOTONIC is shared, so 0 is
+ * exact). Optionally keep only spans of one trace id.
+ */
+MergedTrace mergeSpans(std::vector<SpanFile> files,
+                       std::uint64_t traceHi = 0,
+                       std::uint64_t traceLo = 0);
+
+/** Parent/child structure of one trace inside a merged timeline. */
+struct TraceTreeCheck
+{
+    std::size_t spans = 0;
+    std::size_t roots = 0;     ///< parentId == 0
+    std::size_t orphans = 0;   ///< parent not present in the trace
+    std::size_t processes = 0; ///< distinct files contributing
+    bool singleTrace = true;   ///< all spans share one trace id
+};
+
+TraceTreeCheck checkTraceTree(const MergedTrace &merged,
+                              std::uint64_t traceHi,
+                              std::uint64_t traceLo);
+
+/** Distinct trace ids present, most spans first. */
+std::vector<std::pair<std::string, std::size_t>>
+traceIdsBySpanCount(const MergedTrace &merged);
+
+/** One Perfetto JSON document: pid = file index, process_name
+ *  metadata per file, corrected timestamps. */
+std::string mergedToPerfettoJson(const MergedTrace &merged);
+
+/** Human-readable stitch report: files, offsets, per-trace span
+ *  counts, tree shape of the largest trace. */
+std::string formatMergeReport(const MergedTrace &merged);
+
+} // namespace chameleon
+
+#endif // CHAMELEON_OBS_TRACE_MERGE_HH

@@ -4,7 +4,8 @@
  *
  *   chameleonctl --port N [--host H] [--timeout MS] <command> ...
  *   chameleonctl --ports N1,N2,N3 [--retries N] [--hedge-ms MS]
- *                [--no-hedge] submit ...
+ *                [--no-hedge] [--trace-out PATH]
+ *                [--trace-sample-pct P] submit ...
  *
  * Commands:
  *   submit --design D --app A [--seed N] [--scale N] [--instr N]
@@ -20,9 +21,26 @@
  *   status <jobid>      Print the job's state.
  *   result <jobid> [--wait MS]
  *   metrics             Print the daemon metrics snapshot (JSON).
+ *   stats [--watch] [--interval-ms MS] [--count N]
+ *       Print the Prometheus-style stats exposition: every daemon
+ *       metric, queue-wait/service/e2e latency histograms
+ *       (p50/p95/p99), span drop accounting, and the slow-request
+ *       exemplars with their trace ids. With --ports, one section
+ *       per shard. --watch refreshes every --interval-ms (default
+ *       1000) until interrupted or --count snapshots were printed.
  *   health              Print daemon health.
  *   drain               Ask the daemon to refuse new jobs.
  *   shutdown            Ask the daemon to drain and exit.
+ *
+ * Tracing (--trace-out and/or --trace-sample-pct with submit): the
+ * ctl mints a 128-bit trace id, opens a ctl.request root span and
+ * propagates the context through the pool, the resilient clients and
+ * the daemons (protocol v4). --trace-out writes this process's spans
+ * as Perfetto JSON on exit — feed it with the daemons' --trace-out
+ * files to trace_merge for one cross-process timeline. The sampled
+ * flag is decided here (--trace-sample-pct, default 100 when tracing
+ * is on); failed jobs keep their spans at every hop regardless. The
+ * result JSON carries "trace_id" either way.
  *
  * Non-submit commands address a single daemon: the first --ports
  * entry (or --port).
@@ -38,14 +56,18 @@
  */
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/json.hh"
 #include "common/log.hh"
+#include "obs/span.hh"
 #include "serve/client.hh"
 #include "serve/pool.hh"
 #include "serve/result_cache.hh"
@@ -106,6 +128,9 @@ printResult(const JobResultReply &r, const PoolOutcome *outcome,
         out += ",\"cached\":true";
     if (r.cacheFlags & kResultCoalesced)
         out += ",\"coalesced\":true";
+    if (r.traceIdHi != 0 || r.traceIdLo != 0)
+        out += ",\"trace_id\":" +
+               jsonQuote(hexTraceId(r.traceIdHi, r.traceIdLo));
     if (shard != nullptr)
         out += ",\"shard\":" + jsonQuote(shard->label());
     if (outcome != nullptr) {
@@ -158,7 +183,9 @@ usage()
         stderr,
         "usage: chameleonctl --port N | --ports N1,N2,... [--host H] "
         "[--timeout MS] [--retries N] [--hedge-ms MS] [--no-hedge] "
-        "<submit|status|result|metrics|health|drain|shutdown> ...\n");
+        "[--trace-out PATH] [--trace-sample-pct P] "
+        "<submit|status|result|metrics|stats|health|drain|shutdown> "
+        "...\n");
     return 1;
 }
 
@@ -173,6 +200,9 @@ main(int argc, char **argv)
     unsigned retries = 3;
     std::uint32_t hedgeMs = 0;
     bool hedge = true;
+    std::string traceOut;
+    double tracePct = 100.0;
+    bool tracePctSet = false;
     int i = 1;
 
     // Global flags come before the command word.
@@ -223,6 +253,18 @@ main(int argc, char **argv)
             ++i;
         } else if (arg == "--no-hedge") {
             hedge = false;
+        } else if (arg == "--trace-out") {
+            if (val == nullptr)
+                fatal("--trace-out expects a path");
+            traceOut = val;
+            ++i;
+        } else if (arg == "--trace-sample-pct") {
+            const double v = parseDouble("--trace-sample-pct", val);
+            if (!(v >= 0.0 && v <= 100.0))
+                fatal("--trace-sample-pct must lie in [0, 100]");
+            tracePct = v;
+            tracePctSet = true;
+            ++i;
         } else {
             break;
         }
@@ -295,6 +337,60 @@ main(int argc, char **argv)
             if (req.design.empty() || req.app.empty())
                 fatal("submit requires --design and --app");
 
+            // Tracing: mint the 128-bit context + ctl.request root
+            // span here; every downstream hop (pool, resilient
+            // client, daemon) nests under it. The local sink only
+            // exists when --trace-out names a file — the sampled
+            // flag travels on the wire either way, so daemons record
+            // their side even when the ctl keeps nothing.
+            const bool traced = !traceOut.empty() || tracePctSet;
+            std::uint64_t ctlSpan = 0;
+            bool sampledReq = false;
+            std::unique_ptr<SpanSink> sink;
+            if (traced) {
+                newTraceId(req.traceIdHi, req.traceIdLo);
+                ctlSpan = newSpanId();
+                req.parentSpanId = ctlSpan;
+                sampledReq =
+                    static_cast<double>(req.traceIdLo % 10'000) <
+                    tracePct * 100.0;
+                if (sampledReq)
+                    req.traceFlags |= kTraceSampled;
+                if (!traceOut.empty()) {
+                    SpanSinkConfig sc;
+                    sc.process = "chameleonctl";
+                    sink = std::make_unique<SpanSink>(sc);
+                }
+            }
+            const std::uint64_t tRoot0 = monotonicNowUs();
+            const auto recordRoot = [&](bool err) {
+                if (!sink || !(sampledReq || err))
+                    return;
+                SpanRecord sp;
+                sp.traceHi = req.traceIdHi;
+                sp.traceLo = req.traceIdLo;
+                sp.spanId = ctlSpan;
+                sp.startUs = tRoot0;
+                sp.endUs = monotonicNowUs();
+                sp.kind = SpanKind::CtlRequest;
+                sp.flags = static_cast<std::uint8_t>(
+                    (sampledReq ? kSpanSampled : 0) |
+                    (err ? kSpanError : 0));
+                sink->record(sp);
+            };
+            const auto writeSink = [&] {
+                if (!sink)
+                    return;
+                try {
+                    sink->writePerfettoJson(traceOut);
+                } catch (const std::exception &ex) {
+                    std::fprintf(stderr,
+                                 "chameleonctl: span export failed: "
+                                 "%s\n",
+                                 ex.what());
+                }
+            };
+
             // Consistent-hash placement even for fire-and-forget:
             // job ids are shard-local, so the caller must learn
             // which daemon owns the job.
@@ -312,12 +408,30 @@ main(int argc, char **argv)
                 one.host = endpoints[shard].host;
                 one.port = endpoints[shard].port;
                 Client client(one);
-                const SubmitRunReply sub = client.submitRun(req);
-                std::printf(
-                    "{\"job\":%llu,\"queue_depth\":%u,\"shard\":%s}\n",
+                SubmitRunReply sub;
+                try {
+                    sub = client.submitRun(req);
+                } catch (const ServeError &) {
+                    recordRoot(true);
+                    writeSink();
+                    throw;
+                }
+                if (sink && client.lastServerId() != 0)
+                    sink->noteClockOffset(client.lastServerId(),
+                                          client.lastClockOffsetUs(),
+                                          client.lastRttUs());
+                recordRoot(false);
+                writeSink();
+                std::string line = strFormat(
+                    "{\"job\":%llu,\"queue_depth\":%u,\"shard\":%s",
                     static_cast<unsigned long long>(sub.jobId),
                     unsigned(sub.queueDepth),
                     jsonQuote(endpoints[shard].label()).c_str());
+                if (traced)
+                    line += ",\"trace_id\":" +
+                            jsonQuote(hexTraceId(req.traceIdHi,
+                                                 req.traceIdLo));
+                std::printf("%s}\n", line.c_str());
                 return 0;
             }
 
@@ -332,12 +446,20 @@ main(int argc, char **argv)
             pc.hedgeEnabled = hedge && endpoints.size() > 1;
             pc.hedgeDelayMs = hedgeMs;
             ShardPool pool(pc);
+            if (sink)
+                pool.setSpanSink(sink.get());
             const PoolOutcome out = pool.runJob(req);
+            recordRoot(!out.ok);
+            writeSink();
             if (!out.ok) {
                 std::fprintf(
                     stderr,
-                    "chameleonctl: %s (attempts %u, failovers %u)\n",
-                    out.error.c_str(), out.attempts, out.failovers);
+                    "chameleonctl: %s (attempts %u, failovers %u, "
+                    "trace %s)\n",
+                    out.error.c_str(), out.attempts, out.failovers,
+                    traced ? hexTraceId(req.traceIdHi, req.traceIdLo)
+                                 .c_str()
+                           : "off");
                 return out.errorKind ==
                                ServeErrorKind::RetriesExhausted
                            ? 6
@@ -378,6 +500,54 @@ main(int argc, char **argv)
 
         if (cmd == "metrics") {
             std::printf("%s\n", client.metricsJson().c_str());
+            return 0;
+        }
+
+        if (cmd == "stats") {
+            bool watch = false;
+            std::uint32_t intervalMs = 1'000;
+            std::uint64_t count = 0; // 0 = until interrupted
+            for (; i < argc; ++i) {
+                const std::string arg = argv[i];
+                const char *val =
+                    (i + 1 < argc) ? argv[i + 1] : nullptr;
+                if (arg == "--watch") {
+                    watch = true;
+                } else if (arg == "--interval-ms") {
+                    intervalMs = static_cast<std::uint32_t>(
+                        parseUnsigned("--interval-ms", val));
+                    ++i;
+                } else if (arg == "--count") {
+                    count = parseUnsigned("--count", val);
+                    ++i;
+                } else {
+                    fatal("stats: unknown flag '%s'", arg.c_str());
+                }
+            }
+            for (std::uint64_t iter = 0;; ++iter) {
+                if (watch && iter > 0)
+                    std::printf("\033[2J\033[H"); // clear + home
+                for (const Endpoint &ep : endpoints) {
+                    ClientConfig one = ccfg;
+                    one.host = ep.host;
+                    one.port = ep.port;
+                    Client shard_client(one);
+                    if (endpoints.size() > 1)
+                        std::printf("== %s ==\n", ep.label().c_str());
+                    try {
+                        std::printf(
+                            "%s", shard_client.statsText().c_str());
+                    } catch (const ServeError &ex) {
+                        // One dead shard must not hide the others.
+                        std::printf("# unreachable: %s\n", ex.what());
+                    }
+                }
+                std::fflush(stdout);
+                if (!watch || (count != 0 && iter + 1 >= count))
+                    break;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(intervalMs));
+            }
             return 0;
         }
 

@@ -9,7 +9,13 @@
  *
  *   chameleond [--port N] [--workers N] [--queue N] [--deadline MS]
  *              [--cache-bytes N] [--scale N] [--instr N] [--refs N]
- *              [--quiet]
+ *              [--trace-sample-pct P] [--trace-out PATH] [--quiet]
+ *
+ * Tracing (protocol v4): --trace-sample-pct samples that percentage
+ * of submissions arriving without a trace context (requests carrying
+ * one keep their sender's decision); jobs that fail or miss their
+ * deadline always keep their spans. --trace-out writes the daemon's
+ * span rings as Perfetto JSON on exit, for trace_merge.
  *
  * The one line the tooling depends on (bench_smoke.sh and the serve
  * load generator parse it to discover an ephemeral port):
@@ -54,6 +60,23 @@ parseUnsigned(const char *flag, const char *raw)
     return v;
 }
 
+/** Strict full-token double parse in [0, 100]; fatal otherwise. */
+double
+parsePercent(const char *flag, const char *raw)
+{
+    if (raw == nullptr)
+        chameleon::fatal("%s expects a value", flag);
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(raw, &end);
+    if (end == raw || *end != '\0' || errno == ERANGE ||
+        !(v >= 0.0 && v <= 100.0))
+        chameleon::fatal("%s expects a percentage in [0, 100], got "
+                         "'%s'",
+                         flag, raw);
+    return v;
+}
+
 } // namespace
 
 int
@@ -68,6 +91,7 @@ main(int argc, char **argv)
     cfg.bench.scale = 256;
     cfg.bench.instrPerCore = 50'000;
     cfg.bench.minRefsPerCore = 2'000;
+    std::string trace_out;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -111,6 +135,15 @@ main(int argc, char **argv)
         } else if (arg == "--refs") {
             cfg.bench.minRefsPerCore = parseUnsigned("--refs", val);
             ++i;
+        } else if (arg == "--trace-sample-pct") {
+            cfg.traceSamplePct =
+                parsePercent("--trace-sample-pct", val);
+            ++i;
+        } else if (arg == "--trace-out") {
+            if (val == nullptr)
+                fatal("--trace-out expects a path");
+            trace_out = val;
+            ++i;
         } else if (arg == "--quiet") {
             setQuiet(true);
         } else {
@@ -147,6 +180,20 @@ main(int argc, char **argv)
     std::fprintf(stderr, "chameleond: draining (%s)\n", why);
     server.requestDrain();
     server.awaitDrained();
+
+    // Export spans before stop() so every worker's rings are intact;
+    // the drain already guaranteed no job is still recording.
+    if (!trace_out.empty() && server.spanSink() != nullptr) {
+        try {
+            server.spanSink()->writePerfettoJson(trace_out);
+            std::fprintf(stderr, "chameleond: wrote spans to %s\n",
+                         trace_out.c_str());
+        } catch (const std::exception &ex) {
+            std::fprintf(stderr,
+                         "chameleond: span export failed: %s\n",
+                         ex.what());
+        }
+    }
     server.stop();
 
     const ServerStats st = server.stats();

@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include "common/log.hh"
+#include "obs/span.hh"
 #include "serve/net_util.hh"
 
 namespace chameleon::serve
@@ -219,11 +220,25 @@ expectReply(Client &client, const Frame &frame, MsgType want,
 SubmitRunReply
 Client::submitRun(const SubmitRunRequest &req)
 {
+    // Bracket the round trip so the serverNowUs echo becomes a clock
+    // offset: at the round-trip midpoint the server stamped its
+    // monotonic clock, so offset = serverNow − midpoint with an
+    // error bounded by rtt/2.
+    const std::uint64_t sentUs = monotonicNowUs();
     const Frame reply =
         roundTrip(MsgType::SubmitRun, encodeSubmitRun(req));
-    return expectReply<SubmitRunReply>(*this, reply,
-                                       MsgType::SubmitReply,
-                                       decodeSubmitReply);
+    const std::uint64_t recvUs = monotonicNowUs();
+    SubmitRunReply out = expectReply<SubmitRunReply>(
+        *this, reply, MsgType::SubmitReply, decodeSubmitReply);
+    if (out.serverId != 0) {
+        const std::int64_t midpoint = static_cast<std::int64_t>(
+            sentUs + (recvUs - sentUs) / 2);
+        lastSrvId = out.serverId;
+        lastOffsetUs =
+            static_cast<std::int64_t>(out.serverNowUs) - midpoint;
+        lastRtt = recvUs - sentUs;
+    }
+    return out;
 }
 
 JobStatusReply
@@ -246,6 +261,15 @@ Client::result(std::uint64_t job_id, std::uint32_t wait_ms)
     return expectReply<JobResultReply>(*this, reply,
                                        MsgType::JobResultReply,
                                        decodeJobResultReply);
+}
+
+std::string
+Client::statsText()
+{
+    const Frame reply = roundTrip(MsgType::Stats, {});
+    const StatsReply m = expectReply<StatsReply>(
+        *this, reply, MsgType::StatsReply, decodeStatsReply);
+    return m.text;
 }
 
 std::string

@@ -103,6 +103,8 @@ class Client
 
     SubmitRunReply submitRun(const SubmitRunRequest &req);
     JobStatusReply status(std::uint64_t job_id);
+    /** Prometheus-style stats exposition (see Server::statsText). */
+    std::string statsText();
     /**
      * Fetch a job's result, blocking server-side up to @p wait_ms for
      * a terminal state. The reply's state may still be Queued/Running
@@ -114,6 +116,18 @@ class Client
     HealthReply health();
     DrainReply drain();
     void shutdown();
+
+    /**
+     * Clock handshake learned from the last successful submitRun:
+     * the server's instance id and its CLOCK_MONOTONIC offset
+     * relative to this process (serverMono − localMono, µs,
+     * estimated at the round-trip midpoint), plus the round-trip
+     * time that bounds the estimate's error. serverId 0 = no
+     * handshake yet.
+     */
+    std::uint64_t lastServerId() const { return lastSrvId; }
+    std::int64_t lastClockOffsetUs() const { return lastOffsetUs; }
+    std::uint64_t lastRttUs() const { return lastRtt; }
 
   private:
     /** Send one frame, read exactly one reply frame. */
@@ -127,6 +141,9 @@ class Client
     int fd = -1;
     /** Bytes received but not yet consumed as a frame. */
     std::vector<std::uint8_t> rxBuf;
+    std::uint64_t lastSrvId = 0;
+    std::int64_t lastOffsetUs = 0;
+    std::uint64_t lastRtt = 0;
 };
 
 } // namespace chameleon::serve

@@ -325,6 +325,38 @@ ShardPool::runArm(const SubmitRunRequest &req,
     std::string last_error = "no shard available";
     std::size_t last_shard = owners.empty() ? 0 : owners[0];
 
+    // Tracing: this arm's hop spans nest under one pool.arm span,
+    // which nests under the pool.job span runJob put into
+    // req.parentSpanId. Each hop rewrites parentSpanId so the
+    // ResilientClient's attempts nest under the hop that ran them.
+    const bool traced =
+        spans != nullptr && (req.traceIdHi != 0 || req.traceIdLo != 0);
+    const bool sampled = (req.traceFlags & kTraceSampled) != 0;
+    const std::uint64_t armSpan = traced ? newSpanId() : 0;
+    const std::uint64_t tArm0 = traced ? monotonicNowUs() : 0;
+    SubmitRunRequest hopReq;
+    if (traced)
+        hopReq = req;
+    const SubmitRunRequest &sendReq = traced ? hopReq : req;
+    const auto rec = [&](SpanKind kind, std::uint64_t span_id,
+                         std::uint64_t parent, std::uint64_t t0,
+                         std::uint64_t a0, bool err) {
+        if (!traced || !(sampled || err))
+            return;
+        SpanRecord sp;
+        sp.traceHi = req.traceIdHi;
+        sp.traceLo = req.traceIdLo;
+        sp.spanId = span_id;
+        sp.parentId = parent;
+        sp.startUs = t0;
+        sp.endUs = monotonicNowUs();
+        sp.arg0 = a0;
+        sp.kind = kind;
+        sp.flags = static_cast<std::uint8_t>(
+            (sampled ? kSpanSampled : 0) | (err ? kSpanError : 0));
+        spans->record(sp);
+    };
+
     for (std::size_t step = first_owner; step < owners.size();
          ++step) {
         if (ctx->cancel.load(std::memory_order_relaxed))
@@ -345,17 +377,28 @@ ShardPool::runArm(const SubmitRunRequest &req,
         rp.jitterSeed ^= (static_cast<std::uint64_t>(shard) << 32) ^
                          (is_hedge ? 0x9E3779B9ULL : 0);
         ResilientClient rc(cc, rp);
+        if (traced)
+            rc.setSpanSink(spans);
+        const std::uint64_t hopSpan = traced ? newSpanId() : 0;
+        if (traced)
+            hopReq.parentSpanId = hopSpan;
+        const std::uint64_t tHop0 = traced ? monotonicNowUs() : 0;
 
         AttemptStats st;
         try {
             const auto t0 = Clock::now();
-            JobResultReply reply = rc.runJob(req, &st, &ctx->cancel);
+            JobResultReply reply =
+                rc.runJob(sendReq, &st, &ctx->cancel);
             attempts += st.attempts;
             noteShardSuccess(shard);
             recordLatencyMs(
                 std::chrono::duration<double, std::milli>(
                     Clock::now() - t0)
                     .count());
+            rec(SpanKind::PoolHop, hopSpan, armSpan, tHop0, shard,
+                false);
+            rec(SpanKind::PoolArm, armSpan, req.parentSpanId, tArm0,
+                is_hedge ? 1 : 0, false);
 
             std::lock_guard<std::mutex> lock(ctx->mu);
             --ctx->armsLive;
@@ -382,8 +425,14 @@ ShardPool::runArm(const SubmitRunRequest &req,
                 std::lock_guard<std::mutex> slock(mu);
                 counters.retries += st.retries;
             }
-            if (e.kind() == ServeErrorKind::Cancelled)
+            if (e.kind() == ServeErrorKind::Cancelled) {
+                // Losing a hedge race is not an error worth keeping.
+                rec(SpanKind::PoolHop, hopSpan, armSpan, tHop0, shard,
+                    false);
                 break;
+            }
+            rec(SpanKind::PoolHop, hopSpan, armSpan, tHop0, shard,
+                true);
             last_kind = e.kind();
             last_code = e.code();
             last_error = e.what();
@@ -399,6 +448,12 @@ ShardPool::runArm(const SubmitRunRequest &req,
             }
         }
     }
+
+    // The arm ended without publishing a result: cancelled (hedge
+    // loser, err=false) or every shard failed (err=true).
+    rec(SpanKind::PoolArm, armSpan, req.parentSpanId, tArm0,
+        is_hedge ? 1 : 0,
+        !ctx->cancel.load(std::memory_order_relaxed));
 
     std::lock_guard<std::mutex> lock(ctx->mu);
     --ctx->armsLive;
@@ -421,13 +476,26 @@ ShardPool::runJob(const SubmitRunRequest &req)
 {
     reapFinishedArms();
 
+    // Tracing: both arms see this job's pool.job span as their
+    // parent; the umbrella itself is recorded once the outcome is
+    // known (sampled, or tail-kept when the whole job failed).
+    const bool traced =
+        spans != nullptr && (req.traceIdHi != 0 || req.traceIdLo != 0);
+    const bool sampled = (req.traceFlags & kTraceSampled) != 0;
+    const std::uint64_t poolSpan = traced ? newSpanId() : 0;
+    const std::uint64_t tJob0 = traced ? monotonicNowUs() : 0;
+    SubmitRunRequest preq = req;
+    if (traced)
+        preq.parentSpanId = poolSpan;
+
     const std::vector<std::size_t> owners =
         ring.owners(cacheKey(req), eps.size());
     auto ctx = std::make_shared<JobCtx>();
     ctx->armsLive = 1;
 
-    std::thread primary_arm(
-        [this, req, owners, ctx] { runArm(req, owners, 0, false, ctx); });
+    std::thread primary_arm([this, preq, owners, ctx] {
+        runArm(preq, owners, 0, false, ctx);
+    });
 
     const bool can_hedge = cfg.hedgeEnabled && owners.size() > 1;
     const std::uint32_t hedge_delay = currentHedgeDelayMs();
@@ -446,8 +514,8 @@ ShardPool::runJob(const SubmitRunRequest &req)
                     std::lock_guard<std::mutex> slock(mu);
                     ++counters.hedgesFired;
                 }
-                hedge_arm = std::thread([this, req, owners, ctx] {
-                    runArm(req, owners, 1, true, ctx);
+                hedge_arm = std::thread([this, preq, owners, ctx] {
+                    runArm(preq, owners, 1, true, ctx);
                 });
             }
         }
@@ -487,6 +555,22 @@ ShardPool::runJob(const SubmitRunRequest &req)
         ++counters.jobs;
         if (out.hedged && out.hedgeWon)
             ++counters.hedgesWon;
+    }
+
+    if (traced && (sampled || !out.ok)) {
+        SpanRecord sp;
+        sp.traceHi = req.traceIdHi;
+        sp.traceLo = req.traceIdLo;
+        sp.spanId = poolSpan;
+        sp.parentId = req.parentSpanId;
+        sp.startUs = tJob0;
+        sp.endUs = monotonicNowUs();
+        sp.arg0 = out.shard;
+        sp.kind = SpanKind::PoolJob;
+        sp.flags = static_cast<std::uint8_t>(
+            (sampled ? kSpanSampled : 0) |
+            (out.ok ? 0 : kSpanError));
+        spans->record(sp);
     }
     return out;
 }

@@ -206,6 +206,18 @@ class ShardPool
      *  prober calls this too). */
     void probeOnce();
 
+    /**
+     * Attach a span sink (nullptr = tracing off, the default). A
+     * traced runJob records a pool.job umbrella span, one pool.arm
+     * span per arm (primary/hedge), and one pool.hop span per shard
+     * tried within an arm; the per-shard ResilientClients inherit the
+     * sink and nest their client.attempt spans under the hop. Spans
+     * follow the tail-sampling contract: recorded when the request
+     * was sampled, or at the level that observed an error.
+     */
+    void setSpanSink(SpanSink *sink) { spans = sink; }
+    SpanSink *spanSink() const { return spans; }
+
   private:
     struct ShardState
     {
@@ -251,6 +263,7 @@ class ShardPool
 
     std::atomic<bool> stopping{false};
     std::thread prober;
+    SpanSink *spans = nullptr;
 
     std::mutex armsMu;
     std::vector<std::thread> arms; ///< hedge-loser stragglers

@@ -270,6 +270,10 @@ encodeSubmitRun(const SubmitRunRequest &m)
     w.u8(m.oracle ? 1 : 0);
     w.u8(m.noCache ? 1 : 0);
     w.u32(m.deadlineMs);
+    w.u64(m.traceIdHi);
+    w.u64(m.traceIdLo);
+    w.u64(m.parentSpanId);
+    w.u8(m.traceFlags);
     return w.take();
 }
 
@@ -284,7 +288,9 @@ decodeSubmitRun(const std::vector<std::uint8_t> &p, SubmitRunRequest &m)
                     r.u64(m.minRefsPerCore) && r.f64(m.faultRate) &&
                     r.f64(m.faultStuck) && r.f64(m.faultSpikes) &&
                     r.u8(oracle) && r.u8(no_cache) &&
-                    r.u32(m.deadlineMs);
+                    r.u32(m.deadlineMs) && r.u64(m.traceIdHi) &&
+                    r.u64(m.traceIdLo) && r.u64(m.parentSpanId) &&
+                    r.u8(m.traceFlags);
     m.oracle = oracle != 0;
     m.noCache = no_cache != 0;
     return ok && r.atEnd();
@@ -296,6 +302,8 @@ encodeSubmitReply(const SubmitRunReply &m)
     WireWriter w;
     w.u64(m.jobId);
     w.u32(m.queueDepth);
+    w.u64(m.serverNowUs);
+    w.u64(m.serverId);
     return w.take();
 }
 
@@ -303,7 +311,8 @@ bool
 decodeSubmitReply(const std::vector<std::uint8_t> &p, SubmitRunReply &m)
 {
     WireReader r(p);
-    return r.u64(m.jobId) && r.u32(m.queueDepth) && r.atEnd();
+    return r.u64(m.jobId) && r.u32(m.queueDepth) &&
+           r.u64(m.serverNowUs) && r.u64(m.serverId) && r.atEnd();
 }
 
 std::vector<std::uint8_t>
@@ -413,6 +422,8 @@ encodeJobResultReply(const JobResultReply &m)
     w.u64(m.retiredBytes);
     w.u64(m.degradedCycles);
     w.u8(m.cacheFlags);
+    w.u64(m.traceIdHi);
+    w.u64(m.traceIdLo);
     return w.take();
 }
 
@@ -433,7 +444,8 @@ decodeJobResultReply(const std::vector<std::uint8_t> &p,
         r.u64(m.eccUncorrectable) && r.u64(m.faultSpikes) &&
         r.u64(m.faultTimeouts) && r.u64(m.retiredSegments) &&
         r.u64(m.retiredBytes) && r.u64(m.degradedCycles) &&
-        r.u8(m.cacheFlags);
+        r.u8(m.cacheFlags) && r.u64(m.traceIdHi) &&
+        r.u64(m.traceIdLo);
     if (!ok || !r.atEnd() || state > 5)
         return false;
     m.state = static_cast<JobState>(state);
@@ -461,6 +473,30 @@ decodeMetricsReply(const std::vector<std::uint8_t> &p, MetricsReply &m)
     if (!r.u32(len) || len != p.size() - 4)
         return false;
     m.json.assign(reinterpret_cast<const char *>(p.data()) + 4, len);
+    return true;
+}
+
+std::vector<std::uint8_t>
+encodeStatsReply(const StatsReply &m)
+{
+    WireWriter w;
+    // Like the metrics document, the stats exposition may exceed
+    // kMaxStringBytes; carry it as raw bytes bounded by the frame
+    // cap.
+    w.u32(static_cast<std::uint32_t>(m.text.size()));
+    std::vector<std::uint8_t> out = w.take();
+    out.insert(out.end(), m.text.begin(), m.text.end());
+    return out;
+}
+
+bool
+decodeStatsReply(const std::vector<std::uint8_t> &p, StatsReply &m)
+{
+    WireReader r(p);
+    std::uint32_t len;
+    if (!r.u32(len) || len != p.size() - 4)
+        return false;
+    m.text.assign(reinterpret_cast<const char *>(p.data()) + 4, len);
     return true;
 }
 

@@ -59,8 +59,13 @@ constexpr std::uint32_t kFrameMagic = 0x434D4844;
 /** v2: SubmitRun carries a no_cache flag, JobResultReply carries
  *  cache flags (served-from-cache / coalesced).
  *  v3: Error frames carry a retry-after hint (ms) so Busy/overload
- *  rejections tell the client when another attempt can succeed. */
-constexpr std::uint16_t kProtocolVersion = 3;
+ *  rejections tell the client when another attempt can succeed.
+ *  v4: SubmitRun carries a 128-bit trace context (trace id, parent
+ *  span id, sampling flag); SubmitReply echoes the server's
+ *  monotonic clock and instance id (clock-offset handshake for
+ *  cross-process trace stitching); JobResultReply carries the trace
+ *  id back; Stats/StatsReply expose a Prometheus-style snapshot. */
+constexpr std::uint16_t kProtocolVersion = 4;
 constexpr std::size_t kFrameHeaderBytes = 12;
 /** Hard payload cap: anything larger is rejected before allocation. */
 constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
@@ -84,6 +89,8 @@ enum class MsgType : std::uint16_t
     DrainReply = 12,
     Shutdown = 13,
     ShutdownReply = 14,
+    Stats = 15,
+    StatsReply = 16,
 };
 
 /** Typed failure reasons carried by Error frames. */
@@ -226,13 +233,34 @@ struct SubmitRunRequest
     bool noCache = false;
     /** Per-job wall-clock deadline, ms; 0 = server default. */
     std::uint32_t deadlineMs = 0;
+
+    /**
+     * Distributed-trace context (v4). All zero = untraced request;
+     * the server then mints its own trace id so exemplars stay
+     * addressable. Like noCache, deliberately excluded from the
+     * result-cache key — it steers observability, not simulation.
+     */
+    std::uint64_t traceIdHi = 0;
+    std::uint64_t traceIdLo = 0;
+    std::uint64_t parentSpanId = 0;
+    /** Bit 0: sampled — every hop flushes this job's spans. */
+    std::uint8_t traceFlags = 0;
 };
+
+/** SubmitRunRequest::traceFlags bit 0. */
+constexpr std::uint8_t kTraceSampled = 1;
 
 struct SubmitRunReply
 {
     std::uint64_t jobId = 0;
     /** Pending jobs ahead of this one at acceptance. */
     std::uint32_t queueDepth = 0;
+    /** Server CLOCK_MONOTONIC at accept, µs — the timestamp echo
+     *  clients turn into a per-server clock offset. */
+    std::uint64_t serverNowUs = 0;
+    /** Random per-process server instance id; keys the offset in
+     *  trace metadata even when a proxy hides the real port. */
+    std::uint64_t serverId = 0;
 };
 
 struct JobStatusRequest
@@ -289,6 +317,10 @@ struct JobResultReply
     std::uint64_t degradedCycles = 0;
     /** kResultFromCache / kResultCoalesced provenance bits. */
     std::uint8_t cacheFlags = 0;
+    /** Trace id the job ran under (v4): the submitted context, or
+     *  the id the server minted for an untraced request. */
+    std::uint64_t traceIdHi = 0;
+    std::uint64_t traceIdLo = 0;
 };
 
 /** Copy the RunResult scalars into a reply. */
@@ -302,6 +334,18 @@ struct MetricsReply
 {
     /** Flat JSON object of daemon metrics (see server.cc). */
     std::string json;
+};
+
+struct StatsRequest
+{
+};
+
+struct StatsReply
+{
+    /** Prometheus-style text exposition (see Server::statsText):
+     *  registry metrics, latency histograms with p50/p95/p99,
+     *  slow-request exemplars, span-sink drop counters. */
+    std::string text;
 };
 
 struct HealthRequest
@@ -379,6 +423,10 @@ bool decodeJobResultReply(const std::vector<std::uint8_t> &p,
 std::vector<std::uint8_t> encodeMetricsReply(const MetricsReply &m);
 bool decodeMetricsReply(const std::vector<std::uint8_t> &p,
                         MetricsReply &m);
+
+std::vector<std::uint8_t> encodeStatsReply(const StatsReply &m);
+bool decodeStatsReply(const std::vector<std::uint8_t> &p,
+                      StatsReply &m);
 
 std::vector<std::uint8_t> encodeHealthReply(const HealthReply &m);
 bool decodeHealthReply(const std::vector<std::uint8_t> &p,

@@ -132,6 +132,45 @@ ResilientClient::runJob(const SubmitRunRequest &req, AttemptStats *stats,
     AttemptStats &s = stats ? *stats : local;
     s = AttemptStats{};
 
+    // Tracing: spans buffer locally and flush only when the request
+    // was sampled or this call ends in an error, so the unsampled
+    // happy path never touches the sink rings. Each attempt rewrites
+    // parentSpanId so the server's srv.job span nests under the
+    // attempt that actually reached it.
+    const bool traced =
+        spans != nullptr && (req.traceIdHi != 0 || req.traceIdLo != 0);
+    const bool sampled = (req.traceFlags & kTraceSampled) != 0;
+    SubmitRunRequest tracedReq;
+    if (traced)
+        tracedReq = req;
+    const SubmitRunRequest &sendReq = traced ? tracedReq : req;
+    std::vector<SpanRecord> buf;
+    const auto bufSpan = [&](SpanKind kind, std::uint64_t span_id,
+                             std::uint64_t t0, std::uint64_t t1,
+                             std::uint64_t a0, bool err) {
+        if (!traced)
+            return;
+        SpanRecord sp;
+        sp.traceHi = req.traceIdHi;
+        sp.traceLo = req.traceIdLo;
+        sp.spanId = span_id;
+        sp.parentId = req.parentSpanId;
+        sp.startUs = t0;
+        sp.endUs = t1;
+        sp.arg0 = a0;
+        sp.kind = kind;
+        sp.flags = static_cast<std::uint8_t>(
+            (sampled ? kSpanSampled : 0) | (err ? kSpanError : 0));
+        buf.push_back(sp);
+    };
+    const auto flush = [&](bool err) {
+        if (!traced || !(sampled || err))
+            return;
+        for (const SpanRecord &sp : buf)
+            spans->record(sp);
+        buf.clear();
+    };
+
     std::string last_error = "no attempt made";
     ErrCode last_code = ErrCode::None;
     const unsigned max_attempts = std::max(1u, pol.maxAttempts);
@@ -143,8 +182,16 @@ ResilientClient::runJob(const SubmitRunRequest &req, AttemptStats *stats,
         ++s.attempts;
         if (attempt > 0)
             ++s.retries;
+        const std::uint64_t attemptSpan = traced ? newSpanId() : 0;
+        if (traced)
+            tracedReq.parentSpanId = attemptSpan;
+        const std::uint64_t tAttempt0 = monotonicNowUs();
         try {
-            const SubmitRunReply submitted = cli.submitRun(req);
+            const SubmitRunReply submitted = cli.submitRun(sendReq);
+            if (traced && cli.lastServerId() != 0)
+                spans->noteClockOffset(cli.lastServerId(),
+                                       cli.lastClockOffsetUs(),
+                                       cli.lastRttUs());
             // Poll in short quanta so cancellation and the deadline
             // budget are honoured even while the job runs.
             for (;;) {
@@ -162,14 +209,30 @@ ResilientClient::runJob(const SubmitRunRequest &req, AttemptStats *stats,
                     std::min<std::int64_t>(left, pol.pollQuantumMs));
                 const JobResultReply reply =
                     cli.result(submitted.jobId, wait);
-                if (jobStateTerminal(reply.state))
+                if (jobStateTerminal(reply.state)) {
+                    const bool err =
+                        reply.state == JobState::Failed ||
+                        reply.state == JobState::TimedOut;
+                    bufSpan(SpanKind::ClientAttempt, attemptSpan,
+                            tAttempt0, monotonicNowUs(), attempt,
+                            err);
+                    flush(err);
                     return reply;
+                }
             }
         } catch (const ServeError &e) {
-            if (e.kind() == ServeErrorKind::Cancelled)
+            bufSpan(SpanKind::ClientAttempt, attemptSpan, tAttempt0,
+                    monotonicNowUs(), attempt,
+                    e.kind() != ServeErrorKind::Cancelled);
+            if (e.kind() == ServeErrorKind::Cancelled) {
+                // A hedged twin won; not an error worth tail-keeping.
+                flush(false);
                 throw;
-            if (!serveErrorRetriable(e, pol))
+            }
+            if (!serveErrorRetriable(e, pol)) {
+                flush(true);
                 throw;
+            }
             last_error = e.what();
             last_code = e.code();
             if (attempt + 1 >= max_attempts)
@@ -184,10 +247,19 @@ ResilientClient::runJob(const SubmitRunRequest &req, AttemptStats *stats,
             backoff = static_cast<std::uint32_t>(
                 std::min<std::int64_t>(backoff, left));
             s.backoffMsTotal += backoff;
-            interruptibleSleep(backoff, cancel);
+            const std::uint64_t tBackoff0 = monotonicNowUs();
+            try {
+                interruptibleSleep(backoff, cancel);
+            } catch (const ServeError &) {
+                flush(false); // cancelled mid-backoff
+                throw;
+            }
+            bufSpan(SpanKind::ClientBackoff, traced ? newSpanId() : 0,
+                    tBackoff0, monotonicNowUs(), backoff, false);
         }
     }
 
+    flush(true);
     throw ServeError(
         ServeErrorKind::RetriesExhausted, last_code,
         strFormat("retries-exhausted after %u attempt(s): %s",

@@ -37,6 +37,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/span.hh"
 #include "serve/client.hh"
 
 namespace chameleon::serve
@@ -106,6 +107,19 @@ class ResilientClient
     Client &client() { return cli; }
     const RetryPolicy &policy() const { return pol; }
 
+    /**
+     * Attach a span sink (nullptr = tracing off, the default). When
+     * set and the request carries a trace context, every attempt and
+     * backoff records a span (client.attempt / client.backoff) and
+     * each attempt rewrites req.parentSpanId so the server's srv.job
+     * span nests under the attempt that actually reached it. Spans
+     * buffer per call and flush only when the request was sampled or
+     * the call ended in an error (tail sampling). Clock offsets
+     * learned from submit handshakes are fed to the sink.
+     */
+    void setSpanSink(SpanSink *sink) { spans = sink; }
+    SpanSink *spanSink() const { return spans; }
+
   private:
     /** Sleep @p ms in small slices, honouring @p cancel. */
     void interruptibleSleep(std::uint32_t ms,
@@ -114,6 +128,7 @@ class ResilientClient
     Client cli;
     RetryPolicy pol;
     std::uint64_t jitterState;
+    SpanSink *spans = nullptr;
 };
 
 } // namespace chameleon::serve

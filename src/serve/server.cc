@@ -109,6 +109,20 @@ Server::start()
     }
     boundPort = ntohs(addr.sin_port);
 
+    // One span sink per daemon, labelled with the bound port so
+    // trace_merge tells shards apart; srvId travels in every
+    // SubmitReply so clients key clock offsets to this process even
+    // through a proxy.
+    if (!spans) {
+        SpanSinkConfig sc;
+        sc.ringSpans = cfg.spanRingSpans;
+        sc.process = strFormat("chameleond:%u",
+                               static_cast<unsigned>(boundPort));
+        spans = std::make_unique<SpanSink>(sc);
+        srvId = newSpanId();
+        spans->setServerId(srvId);
+    }
+
     if (::pipe(wakePipe) != 0) {
         ::close(listenFd);
         listenFd = -1;
@@ -509,6 +523,9 @@ Server::dispatchFrame(Conn &conn, const Frame &frame)
       case MsgType::MetricsSnapshot:
         reply = handleMetrics();
         break;
+      case MsgType::Stats:
+        reply = handleStats();
+        break;
       case MsgType::Health:
         reply = handleHealth();
         break;
@@ -568,6 +585,7 @@ Server::validateRequest(const SubmitRunRequest &req) const
 std::vector<std::uint8_t>
 Server::handleSubmit(const Frame &frame)
 {
+    const std::uint64_t tRecv = monotonicNowUs();
     SubmitRunRequest req;
     if (!decodeSubmitRun(frame.payload, req)) {
         std::lock_guard<std::mutex> lock(mtx);
@@ -587,11 +605,30 @@ Server::handleSubmit(const Frame &frame)
         ++counters.rejectedInvalid;
         return errorFrame(ErrCode::BadRequest, problem);
     }
+    const std::uint64_t tDecoded = monotonicNowUs();
+
+    // Trace context: adopt the requester's, or mint one so the job
+    // stays addressable in exemplars even when the caller predates
+    // v4. Sampling is the requester's call when the context came over
+    // the wire, ours (traceSamplePct) when minted; errors flush
+    // regardless (see recordJobObservability).
+    bool sampled = false;
+    if (req.traceIdHi == 0 && req.traceIdLo == 0) {
+        newTraceId(req.traceIdHi, req.traceIdLo);
+        req.parentSpanId = 0;
+        sampled = cfg.traceSamplePct > 0.0 &&
+                  static_cast<double>(req.traceIdLo % 10'000) <
+                      cfg.traceSamplePct * 100.0;
+    } else {
+        sampled = (req.traceFlags & kTraceSampled) != 0;
+    }
 
     const bool cache_on = cache.enabled() && !req.noCache;
     const std::uint64_t key = cache_on ? cacheKey(req) : 0;
     CachedResult hit;
+    const std::uint64_t tCache0 = monotonicNowUs();
     const bool have_hit = cache_on && cache.lookup(key, hit);
+    const std::uint64_t tCache1 = monotonicNowUs();
 
     SubmitRunReply reply;
     bool queued = false;
@@ -618,6 +655,34 @@ Server::handleSubmit(const Frame &frame)
                                         : cfg.defaultDeadlineMs;
         job.acceptedAt = Clock::now();
         job.cacheKey = key;
+        job.traceHi = req.traceIdHi;
+        job.traceLo = req.traceIdLo;
+        job.parentSpan = req.parentSpanId;
+        job.sampled = sampled;
+        job.srvSpanId = newSpanId();
+        job.recvUs = tRecv;
+        // Stage spans are buffered on the job (plain POD stores) and
+        // reach the sink only if recordJobObservability decides to
+        // flush — the unsampled hot path never touches the rings.
+        const auto stage = [&job](SpanKind kind, std::uint64_t t0,
+                                  std::uint64_t t1, std::uint64_t a0) {
+            SpanRecord sp;
+            sp.traceHi = job.traceHi;
+            sp.traceLo = job.traceLo;
+            sp.spanId = newSpanId();
+            sp.parentId = job.srvSpanId;
+            sp.startUs = t0;
+            sp.endUs = t1;
+            sp.arg0 = a0;
+            sp.kind = kind;
+            job.spanBuf.push_back(sp);
+        };
+        job.spanBuf.reserve(3);
+        stage(SpanKind::SrvDecode, tRecv, tDecoded,
+              frame.payload.size());
+        if (cache_on)
+            stage(SpanKind::SrvCache, tCache0, tCache1,
+                  have_hit ? 1 : 0);
 
         if (have_hit) {
             // Cache hit: the job is born terminal — no queue slot,
@@ -659,6 +724,7 @@ Server::handleSubmit(const Frame &frame)
             // already exceeds this job's deadline, queueing it only
             // guarantees a TimedOut — reject now with a hint for
             // when a retry could actually be served.
+            const std::uint64_t tAdm0 = monotonicNowUs();
             const double ewma_ms = ewmaServiceSec * 1000.0;
             const double wait_est_ms =
                 ewma_ms * static_cast<double>(pending.size()) /
@@ -689,6 +755,8 @@ Server::handleSubmit(const Frame &frame)
                               pending.size()),
                     hint > 0 ? hint : 1);
             }
+            stage(SpanKind::SrvAdmission, tAdm0, monotonicNowUs(),
+                  pending.size());
             job.id = nextJobId++;
             job.cacheLeader = cache_on;
             job.cacheable = cache_on;
@@ -707,6 +775,12 @@ Server::handleSubmit(const Frame &frame)
         cvWork.notify_one();
     if (finalized)
         cvJobs.notify_all();
+    // Clock handshake: the client brackets its round trip and treats
+    // this stamp as taken at the midpoint, yielding an offset
+    // estimate bounded by rtt/2 that trace_merge uses to align
+    // per-process timelines.
+    reply.serverNowUs = monotonicNowUs();
+    reply.serverId = srvId;
     return encodeFrame(MsgType::SubmitReply,
                        encodeSubmitReply(reply));
 }
@@ -752,6 +826,8 @@ Server::buildResultReply(const Job &job) const
             ? job.wallSeconds
             : secondsSince(job.acceptedAt, Clock::now());
     reply.cacheFlags = job.cacheFlags;
+    reply.traceIdHi = job.traceHi;
+    reply.traceIdLo = job.traceLo;
     fillResultReply(reply, job.result);
     return reply;
 }
@@ -785,8 +861,11 @@ Server::handleResult(Conn &conn, const Frame &frame)
         return {};
     }
     const JobResultReply reply = buildResultReply(it->second);
-    return encodeFrame(MsgType::JobResultReply,
-                       encodeJobResultReply(reply));
+    const std::uint64_t t0 = monotonicNowUs();
+    auto bytes = encodeFrame(MsgType::JobResultReply,
+                             encodeJobResultReply(reply));
+    recordEncodeSpan(it->second, t0, monotonicNowUs());
+    return bytes;
 }
 
 std::vector<std::uint8_t>
@@ -796,6 +875,14 @@ Server::handleMetrics()
     reply.json = metricsJson();
     return encodeFrame(MsgType::MetricsReply,
                        encodeMetricsReply(reply));
+}
+
+std::vector<std::uint8_t>
+Server::handleStats()
+{
+    StatsReply reply;
+    reply.text = statsText();
+    return encodeFrame(MsgType::StatsReply, encodeStatsReply(reply));
 }
 
 std::vector<std::uint8_t>
@@ -885,10 +972,13 @@ Server::answerWaiters(const Job &job)
             ++it;
             continue;
         }
-        if (bytes.empty())
+        if (bytes.empty()) {
+            const std::uint64_t t0 = monotonicNowUs();
             bytes = encodeFrame(MsgType::JobResultReply,
                                 encodeJobResultReply(
                                     buildResultReply(job)));
+            recordEncodeSpan(job, t0, monotonicNowUs());
+        }
         {
             std::lock_guard<std::mutex> lock(ioMtx);
             ioQueue.emplace_back(it->fd, bytes);
@@ -942,6 +1032,11 @@ Server::finalizeJob(Job &job, JobState state, RunResult result,
         panic("serve: finalizeJob with non-terminal state");
     }
 
+    // Feed histograms/exemplars and flush spans BEFORE answering
+    // waiters, so the encode stage can tell whether this job's trace
+    // went to the sink (traceFlushed) and nest its span under it.
+    recordJobObservability(job);
+
     answerWaiters(job);
 
     if (job.cacheLeader) {
@@ -976,6 +1071,132 @@ Server::finalizeJob(Job &job, JobState state, RunResult result,
                         wall_seconds);
         }
     }
+}
+
+void
+Server::recordJobObservability(Job &job)
+{
+    // Caller holds mtx. steady_clock and monotonicNowUs share an
+    // epoch, so time_points and raw µs stamps mix freely.
+    const auto toUs = [](Clock::time_point tp) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                tp.time_since_epoch())
+                .count());
+    };
+    const std::uint64_t endUs = monotonicNowUs();
+    const std::uint64_t accepted =
+        job.recvUs ? job.recvUs : toUs(job.acceptedAt);
+    const std::uint64_t started =
+        job.startedAt.time_since_epoch().count() ? toUs(job.startedAt)
+                                                 : 0;
+    const double e2e_ms =
+        static_cast<double>(endUs - accepted) / 1000.0;
+    const double service_ms = job.wallSeconds * 1000.0;
+    double queue_ms = 0.0;
+    if (started)
+        queue_ms = static_cast<double>(started - accepted) / 1000.0;
+    else if (!(job.cacheFlags & kResultFromCache))
+        queue_ms = e2e_ms; // never ran: coalesced, or reaped queued
+
+    e2eHist.sample(e2e_ms);
+    if (!(job.cacheFlags & kResultFromCache))
+        queueWaitHist.sample(queue_ms);
+    // Service time mirrors the EWMA feeding rule: real executions
+    // only, or cache hits would drag the distribution to zero.
+    if (job.wallSeconds > 0.0 && job.cacheFlags == 0)
+        serviceHist.sample(service_ms);
+
+    // Top-K slow-request exemplars, e2e descending.
+    if (exemplars.size() < kMaxExemplars ||
+        e2e_ms > exemplars.back().e2eMs) {
+        Exemplar ex;
+        ex.e2eMs = e2e_ms;
+        ex.queueMs = queue_ms;
+        ex.serviceMs = service_ms;
+        ex.traceHi = job.traceHi;
+        ex.traceLo = job.traceLo;
+        ex.jobId = job.id;
+        ex.design = job.req.design;
+        ex.state = job.state;
+        const auto pos = std::upper_bound(
+            exemplars.begin(), exemplars.end(), ex,
+            [](const Exemplar &a, const Exemplar &b) {
+                return a.e2eMs > b.e2eMs;
+            });
+        exemplars.insert(pos, std::move(ex));
+        if (exemplars.size() > kMaxExemplars)
+            exemplars.pop_back();
+    }
+
+    // Span flush: sampled requests always; errors and deadline
+    // misses always (tail sampling keeps failures visible even at
+    // --trace-sample-pct 0).
+    const bool is_err = job.state == JobState::Failed ||
+                        job.state == JobState::TimedOut;
+    job.traceFlushed = (job.sampled || is_err) && spans != nullptr;
+    if (!job.traceFlushed) {
+        job.spanBuf.clear();
+        job.spanBuf.shrink_to_fit();
+        return;
+    }
+
+    const std::uint8_t base = job.sampled ? kSpanSampled : 0;
+    for (SpanRecord sp : job.spanBuf) {
+        sp.flags |= base;
+        spans->record(sp);
+    }
+    job.spanBuf.clear();
+    job.spanBuf.shrink_to_fit();
+
+    const auto synth = [&](SpanKind kind, std::uint64_t t0,
+                           std::uint64_t t1, std::uint64_t span_id,
+                           std::uint64_t parent, std::uint64_t a0,
+                           bool err) {
+        SpanRecord sp;
+        sp.traceHi = job.traceHi;
+        sp.traceLo = job.traceLo;
+        sp.spanId = span_id;
+        sp.parentId = parent;
+        sp.startUs = t0;
+        sp.endUs = t1;
+        sp.arg0 = a0;
+        sp.kind = kind;
+        sp.flags =
+            static_cast<std::uint8_t>(base | (err ? kSpanError : 0));
+        spans->record(sp);
+    };
+    if (!(job.cacheFlags & kResultFromCache))
+        synth(SpanKind::SrvQueueWait, accepted,
+              started ? started : endUs, newSpanId(), job.srvSpanId,
+              job.id, false);
+    if (started)
+        synth(SpanKind::SrvSimulate, started, endUs, newSpanId(),
+              job.srvSpanId, job.id,
+              job.state == JobState::Failed);
+    // The umbrella last: accept-to-finalize, nested under whatever
+    // span the requester put on the wire (0 = a root).
+    synth(SpanKind::SrvJob, accepted, endUs, job.srvSpanId,
+          job.parentSpan, job.id, is_err);
+}
+
+void
+Server::recordEncodeSpan(const Job &job, std::uint64_t t0_us,
+                         std::uint64_t t1_us)
+{
+    if (!job.traceFlushed || !spans)
+        return;
+    SpanRecord sp;
+    sp.traceHi = job.traceHi;
+    sp.traceLo = job.traceLo;
+    sp.spanId = newSpanId();
+    sp.parentId = job.srvSpanId;
+    sp.startUs = t0_us;
+    sp.endUs = t1_us;
+    sp.arg0 = job.id;
+    sp.kind = SpanKind::SrvEncode;
+    sp.flags = job.sampled ? kSpanSampled : 0;
+    spans->record(sp);
 }
 
 void
@@ -1144,6 +1365,8 @@ constexpr MetricDef kServeMetrics[] = {
     {"serve_cache_entries", MetricKind::Gauge},
     {"serve_cache_bytes", MetricKind::Gauge},
     {"serve_draining", MetricKind::Gauge},
+    {"serve_spans_recorded", MetricKind::Counter},
+    {"serve_spans_dropped", MetricKind::Counter},
 };
 
 } // namespace
@@ -1162,8 +1385,8 @@ Server::registerMetrics()
     }
 }
 
-std::string
-Server::metricsJson()
+std::uint64_t
+Server::refreshMetricShadow()
 {
     ServerStats s;
     std::size_t queue_depth;
@@ -1177,6 +1400,7 @@ Server::metricsJson()
         running = runningJobs;
     }
     const ResultCache::Stats cs = cache.stats();
+    const SpanSinkStats ss = spans ? spans->stats() : SpanSinkStats{};
     const auto uptime_ms = static_cast<std::uint64_t>(
         secondsSince(startedAt, Clock::now()) * 1000.0);
 
@@ -1206,12 +1430,22 @@ Server::metricsJson()
         static_cast<double>(cs.entries),
         static_cast<double>(cs.bytes),
         state() == ServerStateKind::Draining ? 1.0 : 0.0,
+        static_cast<double>(ss.recorded),
+        static_cast<double>(ss.dropped),
     };
     // Each snapshot request extends the registry's time series, so a
     // scraping client builds the same Timeline history a --metrics
     // bench run would.
     registry.snapshot(static_cast<Cycle>(uptime_ms));
+    return uptime_ms;
+}
 
+std::string
+Server::metricsJson()
+{
+    const std::uint64_t uptime_ms = refreshMetricShadow();
+
+    std::lock_guard<std::mutex> lock(metricsMtx);
     std::string out = "{\"state\":";
     out += jsonQuote(state() == ServerStateKind::Serving ? "serving"
                      : state() == ServerStateKind::Draining
@@ -1231,6 +1465,75 @@ Server::metricsJson()
         out += jsonNumber(m.getter());
     }
     out += "}}";
+    return out;
+}
+
+std::string
+Server::statsText()
+{
+    const std::uint64_t uptime_ms = refreshMetricShadow();
+
+    std::unique_lock<std::mutex> lock(mtx);
+    const Histogram qh = queueWaitHist;
+    const Histogram sh = serviceHist;
+    const Histogram eh = e2eHist;
+    const std::vector<Exemplar> exs = exemplars;
+    lock.unlock();
+
+    std::string out = strFormat(
+        "# chameleond 127.0.0.1:%u %s, uptime %llu ms\n",
+        static_cast<unsigned>(boundPort),
+        state() == ServerStateKind::Serving    ? "serving"
+        : state() == ServerStateKind::Draining ? "draining"
+                                               : "stopped",
+        static_cast<unsigned long long>(uptime_ms));
+
+    {
+        std::lock_guard<std::mutex> mlock(metricsMtx);
+        for (const Metric &m : registry.metrics()) {
+            out += strFormat("# TYPE %s %s\n", m.name.c_str(),
+                             m.kind == MetricKind::Counter
+                                 ? "counter"
+                                 : "gauge");
+            out += strFormat("%s %s\n", m.name.c_str(),
+                             jsonNumber(m.getter()).c_str());
+        }
+    }
+
+    const auto hist = [&out](const char *name, const Histogram &h) {
+        out += strFormat("# TYPE %s summary\n", name);
+        for (const double q : {0.50, 0.95, 0.99})
+            out += strFormat("%s{quantile=\"%.2f\"} %.3f\n", name, q,
+                             h.percentile(q));
+        out += strFormat(
+            "%s_count %llu\n", name,
+            static_cast<unsigned long long>(h.samples()));
+    };
+    hist("serve_queue_wait_ms", qh);
+    hist("serve_service_ms", sh);
+    hist("serve_e2e_ms", eh);
+
+    // Span-sink drop accounting (satellite of the tracing tentpole):
+    // retained is a gauge (ring occupancy), the others monotonic.
+    const SpanSinkStats ss = spans ? spans->stats() : SpanSinkStats{};
+    out += strFormat("# TYPE serve_spans_retained gauge\n"
+                     "serve_spans_retained %llu\n",
+                     static_cast<unsigned long long>(ss.retained));
+
+    // Slow-request exemplars: the top-K e2e latencies with their
+    // trace ids and stage breakdown, so `chameleonctl stats` hands
+    // the investigator a trace id to grep in merged timelines.
+    for (std::size_t i = 0; i < exs.size(); ++i) {
+        const Exemplar &ex = exs[i];
+        out += strFormat(
+            "serve_slow_request_ms{rank=\"%zu\",trace_id=\"%s\","
+            "job=\"%llu\",design=\"%s\",state=\"%s\","
+            "queue_ms=\"%.3f\",service_ms=\"%.3f\"} %.3f\n",
+            i, hexTraceId(ex.traceHi, ex.traceLo).c_str(),
+            static_cast<unsigned long long>(ex.jobId),
+            ex.design.c_str(), jobStateLabel(ex.state), ex.queueMs,
+            ex.serviceMs, ex.e2eMs);
+    }
     return out;
 }
 

@@ -67,12 +67,15 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/stats.hh"
 #include "obs/metrics_registry.hh"
+#include "obs/span.hh"
 #include "serve/protocol.hh"
 #include "serve/result_cache.hh"
 #include "sim/experiment.hh"
@@ -106,6 +109,16 @@ struct ServerConfig
      * thrown here surface as JobState::Failed.
      */
     std::function<RunResult(const SubmitRunRequest &)> runner;
+    /**
+     * Tail-sampling percentage [0, 100] applied to submissions that
+     * arrive WITHOUT a trace context (the server mints one); requests
+     * that carry a context keep the sampling decision their sender
+     * made. Jobs ending Failed/TimedOut always flush their spans,
+     * whatever this says.
+     */
+    double traceSamplePct = 0.0;
+    /** Per-thread span-ring capacity (see obs/span.hh). */
+    std::size_t spanRingSpans = 1u << 14;
 };
 
 enum class ServerStateKind : std::uint8_t
@@ -199,6 +212,21 @@ class Server
     /** Flat JSON snapshot of the daemon metrics registry. */
     std::string metricsJson();
 
+    /**
+     * Prometheus-style text exposition: every registry metric, the
+     * queue-wait / service / e2e latency histograms with p50/p95/p99
+     * quantile lines, span-sink drop accounting, and the top-K
+     * slow-request exemplars with their trace ids and stage
+     * breakdown. Served over the wire as the Stats message.
+     */
+    std::string statsText();
+
+    /** The daemon's span sink (valid after start()). */
+    SpanSink *spanSink() { return spans.get(); }
+
+    /** Random per-process instance id echoed in SubmitReply. */
+    std::uint64_t serverId() const { return srvId; }
+
   private:
     using Clock = std::chrono::steady_clock;
 
@@ -222,6 +250,24 @@ class Server
         bool cacheable = false;
         /** Coalesced twins finalized together with this leader. */
         std::vector<std::uint64_t> followers;
+
+        // --- distributed tracing (v4) --------------------------------
+        std::uint64_t traceHi = 0;
+        std::uint64_t traceLo = 0;
+        /** Requester's span this job's srv.job span nests under. */
+        std::uint64_t parentSpan = 0;
+        /** The srv.job umbrella span id; stage spans nest under it. */
+        std::uint64_t srvSpanId = 0;
+        /** SubmitRun frame arrival, monotonic µs. */
+        std::uint64_t recvUs = 0;
+        /** Sampling decision (sender's, or the server's for minted
+         *  contexts); errors flush regardless. */
+        bool sampled = false;
+        /** Set by finalizeJob: spans went to the sink, so the encode
+         *  stage may record directly. */
+        bool traceFlushed = false;
+        /** Stage spans buffered until the flush decision. */
+        std::vector<SpanRecord> spanBuf;
     };
 
     /** One connection, owned exclusively by the I/O thread. */
@@ -273,6 +319,7 @@ class Server
     std::vector<std::uint8_t> handleResult(Conn &conn,
                                            const Frame &frame);
     std::vector<std::uint8_t> handleMetrics();
+    std::vector<std::uint8_t> handleStats();
     std::vector<std::uint8_t> handleHealth();
     std::vector<std::uint8_t> handleDrain();
     std::vector<std::uint8_t> handleShutdown();
@@ -294,6 +341,22 @@ class Server
     /** Caller holds mtx: queue replies for waiters on @p job. */
     void answerWaiters(const Job &job);
     void registerMetrics();
+    /**
+     * Caller holds mtx. Feeds the latency histograms + slow-request
+     * exemplars and, when the job is sampled or errored, flushes its
+     * buffered stage spans plus synthesized queue-wait / simulate /
+     * umbrella spans to the sink.
+     */
+    void recordJobObservability(Job &job);
+    /** Record one srv.encode span if @p job's trace was flushed. */
+    void recordEncodeSpan(const Job &job, std::uint64_t t0_us,
+                          std::uint64_t t1_us);
+    /**
+     * Refresh metricShadow from live counters and extend the
+     * registry's snapshot series; returns the uptime in ms. Shared by
+     * metricsJson and statsText. Takes mtx then metricsMtx.
+     */
+    std::uint64_t refreshMetricShadow();
 
     JobResultReply buildResultReply(const Job &job) const;
 
@@ -348,6 +411,31 @@ class Server
     /** Values the registry getters read; refreshed in metricsJson. */
     std::vector<double> metricShadow;
     Clock::time_point startedAt{};
+
+    // --- observability (v4) -----------------------------------------
+    /** A completed request kept as a slow-request exemplar. */
+    struct Exemplar
+    {
+        double e2eMs = 0.0;
+        double queueMs = 0.0;
+        double serviceMs = 0.0;
+        std::uint64_t traceHi = 0;
+        std::uint64_t traceLo = 0;
+        std::uint64_t jobId = 0;
+        std::string design;
+        JobState state = JobState::Queued;
+    };
+    /** Top-K exemplars, sorted by e2eMs descending. */
+    static constexpr std::size_t kMaxExemplars = 8;
+
+    std::unique_ptr<SpanSink> spans;
+    /** Random per-process id echoed in SubmitReply handshakes. */
+    std::uint64_t srvId = 0;
+    // Latency histograms + exemplars, guarded by mtx.
+    Histogram queueWaitHist{1.0, 512};  ///< ms, 1 ms buckets
+    Histogram serviceHist{1.0, 512};    ///< ms
+    Histogram e2eHist{1.0, 512};        ///< ms
+    std::vector<Exemplar> exemplars;
 };
 
 } // namespace chameleon::serve

@@ -397,6 +397,8 @@ TEST(ResultCacheServer, CachedReplyMatchesFreshRunForEveryDesign)
         fresh.jobId = cached.jobId = 0;
         fresh.wallSeconds = cached.wallSeconds = 0.0;
         fresh.cacheFlags = cached.cacheFlags = 0;
+        fresh.traceIdHi = cached.traceIdHi = 0;
+        fresh.traceIdLo = cached.traceIdLo = 0;
         EXPECT_EQ(encodeJobResultReply(fresh),
                   encodeJobResultReply(cached))
             << design;
